@@ -1,0 +1,196 @@
+// Command experiments regenerates the paper's evaluation tables and figures
+// (Tables 1–3, Figures 5–7, the §6.6 fusion comparison and the §6.7.1
+// automatic-vs-expert LF comparison) on the synthetic substrate and writes
+// them as markdown.
+//
+// Usage:
+//
+//	experiments [-run all|table1|table2|table3|figure5|figure6|figure7|fusion|lfgen|rawvsfeat]
+//	            [-scale 1.0] [-seed 17] [-tasks CT1,CT2,...] [-o out.md]
+//
+// -scale shrinks every corpus for fast smoke runs; the headline numbers use
+// scale 1.0 (see EXPERIMENTS.md).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"crossmodal/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		run   = flag.String("run", "all", "experiment to run (all, table1, table2, table3, figure5, figure6, figure7, fusion, lfgen, ablations, rawvsfeat)")
+		scale = flag.Float64("scale", 1.0, "corpus scale factor")
+		seed  = flag.Int64("seed", 17, "random seed")
+		tasks = flag.String("tasks", "", "comma-separated task subset (default: all five)")
+		out   = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+
+	taskList := experiments.AllTasks()
+	if *tasks != "" {
+		taskList = strings.Split(*tasks, ",")
+	}
+	suite, err := experiments.NewSuite(experiments.Config{Scale: *scale, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := dispatch(ctx, w, suite, *run, taskList, *scale); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func dispatch(ctx context.Context, w io.Writer, suite *experiments.Suite, run string, tasks []string, scale float64) error {
+	want := map[string]bool{}
+	for _, name := range strings.Split(run, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+	ran := 0
+	step := func(name, title string, fn func() error) error {
+		if !all && !want[name] {
+			return nil
+		}
+		ran++
+		start := time.Now()
+		fmt.Fprintf(w, "\n## %s\n\n", title)
+		if err := fn(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(w, "\n_(generated in %s)_\n", time.Since(start).Round(time.Second))
+		return nil
+	}
+
+	fmt.Fprintf(w, "# Cross-modal adaptation experiments (scale %.2f, tasks %s)\n",
+		scale, strings.Join(tasks, ", "))
+
+	if err := step("table1", "Table 1 — task statistics", func() error {
+		rows, err := suite.Table1(ctx, tasks)
+		if err != nil {
+			return err
+		}
+		experiments.RenderTable1(w, rows)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("table2", "Table 2 — end-to-end relative AUPRC and cross-over points", func() error {
+		rows, err := suite.Table2(ctx, tasks)
+		if err != nil {
+			return err
+		}
+		experiments.RenderTable2(w, rows)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("table3", "Table 3 — label-propagation lift", func() error {
+		rows, err := suite.Table3(ctx, tasks)
+		if err != nil {
+			return err
+		}
+		experiments.RenderTable3(w, rows)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("figure5", "Figure 5 — hand-label budget cross-over (CT1)", func() error {
+		series, err := suite.Figure5(ctx, "CT1")
+		if err != nil {
+			return err
+		}
+		experiments.RenderFigure5(w, series)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("figure6", "Figure 6 — organizational-resource factor analysis (CT1)", func() error {
+		steps, err := suite.Figure6(ctx, "CT1")
+		if err != nil {
+			return err
+		}
+		experiments.RenderFigure6(w, steps)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("figure7", "Figure 7 — modality lesion study (CT1)", func() error {
+		rows, err := suite.Figure7(ctx, "CT1")
+		if err != nil {
+			return err
+		}
+		experiments.RenderFigure7(w, rows)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("fusion", "§6.6 — fusion architecture comparison", func() error {
+		rows, err := suite.FusionComparison(ctx, tasks)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFusion(w, rows)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("lfgen", "§6.7.1 — automatic vs expert LF generation (CT1)", func() error {
+		rows, err := suite.LFGeneration(ctx, "CT1")
+		if err != nil {
+			return err
+		}
+		experiments.RenderLFGen(w, rows)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("ablations", "Design-choice ablations (CT1)", func() error {
+		rows, err := suite.Ablations(ctx, "CT1")
+		if err != nil {
+			return err
+		}
+		experiments.RenderAblations(w, rows)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("rawvsfeat", "§6.6 — feature space vs raw embedding (CT1)", func() error {
+		res, err := suite.RawVsFeatures(ctx, "CT1")
+		if err != nil {
+			return err
+		}
+		experiments.RenderRawVsFeatures(w, res)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment %q", run)
+	}
+	return nil
+}

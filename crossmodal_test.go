@@ -1,0 +1,139 @@
+package crossmodal_test
+
+import (
+	"context"
+	"testing"
+
+	"crossmodal"
+)
+
+// TestPublicAPIEndToEnd drives the entire public surface the examples rely
+// on: world and library construction, dataset sampling, the pipeline, the
+// reusable curation, video featurization, and the WS building blocks.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	ctx := context.Background()
+
+	world := crossmodal.MustWorld(crossmodal.DefaultWorldConfig())
+	lib, err := crossmodal.StandardLibrary(world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crossmodal.StandardTasks()) != 5 {
+		t.Fatal("expected five standard tasks")
+	}
+	task, err := crossmodal.TaskByName("CT2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := crossmodal.BuildDataset(world, task, crossmodal.DatasetConfig{
+		Seed: 4, NumText: 3000, NumUnlabeledImage: 1200, NumHandLabelPool: 300, NumTest: 1200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := crossmodal.DefaultOptions()
+	opts.MaxGraphSeeds, opts.GraphDevNodes = 800, 300
+	pipe, err := crossmodal.NewPipeline(lib, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pipe.Run(ctx, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auprc, err := pipe.EvaluateAUPRC(ctx, res.Predictor, ds.TestImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := crossmodal.PositiveRate(ds.TestImage)
+	if auprc <= base {
+		t.Errorf("cross-modal AUPRC %.3f should beat random %.3f", auprc, base)
+	}
+
+	// Re-train a variant from the same curation.
+	spec := pipe.DefaultTrainSpec()
+	spec.Fusion = crossmodal.IntermediateFusion
+	if _, err := pipe.Train(res.Curation, spec); err != nil {
+		t.Fatalf("variant training: %v", err)
+	}
+
+	// Video featurization through the same predictor.
+	videos := crossmodal.SampleVideo(world, task, 200, 3, 8)
+	vvecs, err := pipe.Featurize(ctx, videos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := res.Predictor.PredictBatch(vvecs)
+	if len(scores) != len(videos) {
+		t.Fatal("video scoring size mismatch")
+	}
+	if v := crossmodal.AUPRC(crossmodal.Labels(videos), scores); v <= 0 {
+		t.Errorf("video AUPRC = %v", v)
+	}
+}
+
+// TestPublicWeakSupervisionBlocks drives the mining / expert / label-model
+// surface directly.
+func TestPublicWeakSupervisionBlocks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	ctx := context.Background()
+	world := crossmodal.MustWorld(crossmodal.DefaultWorldConfig())
+	lib, err := crossmodal.StandardLibrary(world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := crossmodal.TaskByName("CT1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := crossmodal.BuildDataset(world, task, crossmodal.DatasetConfig{
+		Seed: 6, NumText: 4000, NumUnlabeledImage: 300, NumHandLabelPool: 100, NumTest: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := crossmodal.NewPipeline(lib, crossmodal.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs, err := pipe.Featurize(ctx, ds.LabeledText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := crossmodal.Labels(ds.LabeledText)
+
+	lfs, report, err := crossmodal.MineLFs(ctx, crossmodal.DefaultMiningConfig(), vecs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lfs) == 0 || report.DevPositives == 0 {
+		t.Fatalf("mining produced nothing: %s", report)
+	}
+	matrix, err := crossmodal.ApplyLFs(ctx, lfs, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := crossmodal.EvaluateLFs(matrix, labels)
+	if len(stats) != len(lfs) {
+		t.Fatalf("stats = %d, lfs = %d", len(stats), len(lfs))
+	}
+	lm, err := crossmodal.FitLabelModel(matrix, labels, crossmodal.LabelModelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := lm.Predict(matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range probs {
+		if p < 0 || p > 1 {
+			t.Fatalf("probabilistic label %v out of range", p)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package crossmodal_test
+
+import (
+	"fmt"
+
+	"crossmodal"
+)
+
+// ExampleStandardTasks lists the evaluation's classification tasks.
+func ExampleStandardTasks() {
+	for _, task := range crossmodal.StandardTasks() {
+		fmt.Printf("%s: %.1f%% positive\n", task.Name, 100*task.TargetPositiveRate)
+	}
+	// Output:
+	// CT1: 4.1% positive
+	// CT2: 9.3% positive
+	// CT3: 3.2% positive
+	// CT4: 0.9% positive
+	// CT5: 6.9% positive
+}
+
+// ExampleStandardLibrary shows the organizational-resource feature space.
+func ExampleStandardLibrary() {
+	world := crossmodal.MustWorld(crossmodal.DefaultWorldConfig())
+	lib, err := crossmodal.StandardLibrary(world)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	schema := lib.Schema()
+	fmt.Printf("organizational services (sets A-D): %d features\n", schema.Sets("A", "B", "C", "D").Len())
+	fmt.Printf("servable features overall: %d of %d\n", schema.Servable().Len(), schema.Len())
+	// Output:
+	// organizational services (sets A-D): 15 features
+	// servable features overall: 20 of 21
+}
+
+// ExamplePositiveRate demonstrates dataset sampling and class imbalance.
+func ExamplePositiveRate() {
+	world := crossmodal.MustWorld(crossmodal.DefaultWorldConfig())
+	task, _ := crossmodal.TaskByName("CT4")
+	ds, err := crossmodal.BuildDataset(world, task, crossmodal.DatasetConfig{
+		Seed: 7, NumText: 5000, NumUnlabeledImage: 100, NumHandLabelPool: 1, NumTest: 1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rate := crossmodal.PositiveRate(ds.LabeledText)
+	fmt.Printf("CT4 is heavily imbalanced: %v\n", rate < 0.03)
+	// Output:
+	// CT4 is heavily imbalanced: true
+}

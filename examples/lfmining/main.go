@@ -1,0 +1,128 @@
+// LF mining: drive the weak-supervision building blocks directly (paper
+// §4.3 and §6.7.1). The program mines labeling functions from the labeled
+// text corpus by frequent itemset mining, has a simulated domain expert
+// author rival LFs from a small sample, and compares both on the dev set and
+// as label models.
+//
+//	go run ./examples/lfmining
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"crossmodal"
+)
+
+func main() {
+	log.SetFlags(0)
+	ctx := context.Background()
+
+	world := crossmodal.MustWorld(crossmodal.DefaultWorldConfig())
+	lib, err := crossmodal.StandardLibrary(world)
+	if err != nil {
+		log.Fatal(err)
+	}
+	task, err := crossmodal.TaskByName("CT2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := crossmodal.DefaultDatasetConfig()
+	cfg.NumText, cfg.NumUnlabeledImage, cfg.NumHandLabelPool, cfg.NumTest = 10000, 3000, 200, 200
+	ds, err := crossmodal.BuildDataset(world, task, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Featurize the labeled text corpus into the common feature space —
+	// this is both the mining corpus and the development set.
+	pipe, err := crossmodal.NewPipeline(lib, crossmodal.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	devVecs, err := pipe.Featurize(ctx, ds.LabeledText)
+	if err != nil {
+		log.Fatal(err)
+	}
+	devLabels := crossmodal.Labels(ds.LabeledText)
+
+	// --- Automatic LF generation: mine the full corpus (§4.3) ---
+	mined, report, err := crossmodal.MineLFs(ctx, crossmodal.DefaultMiningConfig(), devVecs, devLabels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("miner scanned all %d dev points: %s\n", len(devVecs), report)
+
+	// --- Expert LF authorship: a small sample, by hand (§6.7.1) ---
+	expert := crossmodal.DefaultExpert()
+	authored, err := expert.Develop(devVecs, devLabels, rand.New(rand.NewSource(7)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("expert examined %d sampled points: %d LFs\n", expert.SampleSize, len(authored))
+
+	for _, side := range []struct {
+		name string
+		lfs  []*crossmodal.LabelingFunction
+	}{{"mined", mined}, {"expert", authored}} {
+		matrix, err := crossmodal.ApplyLFs(ctx, side.lfs, devVecs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats := crossmodal.EvaluateLFs(matrix, devLabels)
+		sort.Slice(stats, func(a, b int) bool {
+			return stats[a].Precision*stats[a].Recall > stats[b].Precision*stats[b].Recall
+		})
+		fmt.Printf("\nbest %s LFs on the dev set:\n", side.name)
+		for i, s := range stats {
+			if i == 5 {
+				break
+			}
+			fmt.Printf("  %-44s precision=%.2f recall=%.3f coverage=%.3f\n",
+				s.Name, s.Precision, s.Recall, s.Coverage)
+		}
+		// Denoise the votes into probabilistic labels and measure the
+		// label model's dev-set F1 — the §6.7 comparison metric.
+		lm, err := crossmodal.FitLabelModel(matrix, devLabels, crossmodal.LabelModelConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		probs, err := lm.Predict(matrix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var tp, fp, fn int
+		for i, p := range probs {
+			pos := p >= 0.5
+			switch {
+			case pos && devLabels[i] > 0:
+				tp++
+			case pos:
+				fp++
+			case devLabels[i] > 0:
+				fn++
+			}
+		}
+		precision := safeDiv(tp, tp+fp)
+		recall := safeDiv(tp, tp+fn)
+		fmt.Printf("  label-model dev F1: %.3f (precision %.3f, recall %.3f)\n",
+			2*precision*recall/maxf(precision+recall, 1e-12), precision, recall)
+	}
+}
+
+func safeDiv(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

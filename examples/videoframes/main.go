@@ -1,0 +1,66 @@
+// Video frames: extend the adaptation one modality further (paper §3.1.1).
+// A model bootstrapped for images via the cross-modal pipeline is applied to
+// *video* posts by splitting each video into representative image frames,
+// featurizing the frames through the same organizational services, and
+// merging the per-frame observations — no video-specific training at all.
+//
+//	go run ./examples/videoframes
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"crossmodal"
+)
+
+func main() {
+	log.SetFlags(0)
+	ctx := context.Background()
+
+	world := crossmodal.MustWorld(crossmodal.DefaultWorldConfig())
+	lib, err := crossmodal.StandardLibrary(world)
+	if err != nil {
+		log.Fatal(err)
+	}
+	task, err := crossmodal.TaskByName("CT1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := crossmodal.DefaultDatasetConfig()
+	cfg.NumText, cfg.NumUnlabeledImage, cfg.NumHandLabelPool, cfg.NumTest = 8000, 3000, 200, 200
+	ds, err := crossmodal.BuildDataset(world, task, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Bootstrap the image model exactly as in the quickstart.
+	pipe, err := crossmodal.NewPipeline(lib, crossmodal.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pipe.Run(ctx, ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("image model bootstrapped from text labels + organizational resources")
+
+	// Now the application launches video posts. The video-splitting tool
+	// renders each video as image frames; the library featurizes a video
+	// point by merging per-frame service outputs (categorical union,
+	// numeric mean).
+	for _, frames := range []int{1, 3, 6} {
+		videos := crossmodal.SampleVideo(world, task, 3000, frames, 99)
+		vecs, err := pipe.Featurize(ctx, videos)
+		if err != nil {
+			log.Fatal(err)
+		}
+		auprc := crossmodal.AUPRC(crossmodal.Labels(videos), res.Predictor.PredictBatch(vecs))
+		fmt.Printf("video posts split into %d frame(s): AUPRC %.3f (random ≈ %.3f)\n",
+			frames, auprc, crossmodal.PositiveRate(videos))
+	}
+	fmt.Println("\nsplitting into frames lets every image-capable service see the video;")
+	fmt.Println("a few frames beat one (better recall), while many frames can add noise —")
+	fmt.Println("all without a single video-labeled example (paper §3.1.1).")
+}

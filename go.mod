@@ -1,0 +1,3 @@
+module crossmodal
+
+go 1.22

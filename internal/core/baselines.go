@@ -1,0 +1,121 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"crossmodal/internal/feature"
+	"crossmodal/internal/fusion"
+	"crossmodal/internal/labelprop"
+	"crossmodal/internal/metrics"
+	"crossmodal/internal/model"
+	"crossmodal/internal/resource"
+	"crossmodal/internal/synth"
+)
+
+// SchemaFor composes an end-model schema from organizational service sets,
+// optionally including the image- and text-specific feature sets. Only
+// servable features are included.
+func (p *Pipeline) SchemaFor(sets []string, includeImage, includeText bool) *feature.Schema {
+	all := append([]string{}, sets...)
+	if includeImage {
+		all = append(all, resource.ImageSet)
+	}
+	if includeText {
+		all = append(all, resource.TextSet)
+	}
+	return p.lib.Schema().Sets(all...).Servable()
+}
+
+// EmbeddingOnlySchema returns the schema holding only the pre-trained image
+// embedding — the paper's reporting baseline ("a fully supervised image
+// model trained with only pre-trained image embedding features", §6.3).
+func (p *Pipeline) EmbeddingOnlySchema() *feature.Schema {
+	return p.lib.Schema().Project(func(d feature.Def) bool {
+		return d.Name == "img_embedding"
+	})
+}
+
+// TrainSupervised trains a fully supervised early-fusion model on labeled
+// points over the given schema — the baseline and hand-label comparisons of
+// §6.4.
+func (p *Pipeline) TrainSupervised(ctx context.Context, pts []*synth.Point, schema *feature.Schema, mcfg model.Config) (fusion.Predictor, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("core: no supervised training points")
+	}
+	vecs, err := p.Featurize(ctx, pts)
+	if err != nil {
+		return nil, fmt.Errorf("core: featurize supervised corpus: %w", err)
+	}
+	targets := make([]float64, len(pts))
+	for i, pt := range pts {
+		if pt.Label > 0 {
+			targets[i] = 1
+		}
+	}
+	corpus := fusion.Corpus{Name: "supervised", Vectors: vecs, Targets: targets}
+	return fusion.TrainEarly([]fusion.Corpus{corpus}, fusion.Config{
+		Schema:   schema,
+		Model:    mcfg,
+		MaxVocab: p.opts.MaxVocab,
+	})
+}
+
+// EvaluateAUPRC featurizes the test points and returns the predictor's
+// AUPRC against their labels.
+func (p *Pipeline) EvaluateAUPRC(ctx context.Context, predictor fusion.Predictor, test []*synth.Point) (float64, error) {
+	vecs, err := p.Featurize(ctx, test)
+	if err != nil {
+		return 0, fmt.Errorf("core: featurize test: %w", err)
+	}
+	return metrics.AUPRC(synth.Labels(test), predictor.PredictBatch(vecs)), nil
+}
+
+// BudgetPoint is one point on a hand-label budget curve (Figure 5).
+type BudgetPoint struct {
+	Budget int
+	AUPRC  float64
+}
+
+// SupervisedCurve trains fully supervised image models at increasing
+// hand-label budgets drawn from the pool and evaluates each on the test set.
+// Budgets exceeding the pool are skipped.
+func (p *Pipeline) SupervisedCurve(ctx context.Context, pool, test []*synth.Point, budgets []int, schema *feature.Schema, mcfg model.Config) ([]BudgetPoint, error) {
+	var curve []BudgetPoint
+	for _, n := range budgets {
+		if n <= 0 || n > len(pool) {
+			continue
+		}
+		predictor, err := p.TrainSupervised(ctx, pool[:n], schema, mcfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: supervised budget %d: %w", n, err)
+		}
+		auprc, err := p.EvaluateAUPRC(ctx, predictor, test)
+		if err != nil {
+			return nil, err
+		}
+		curve = append(curve, BudgetPoint{Budget: n, AUPRC: auprc})
+	}
+	if len(curve) == 0 {
+		return nil, fmt.Errorf("core: no feasible budgets (pool %d)", len(pool))
+	}
+	return curve, nil
+}
+
+// CrossOver returns the smallest budget on the curve whose supervised AUPRC
+// meets or beats target, or 0 if no budget does (the cross-over lies beyond
+// the pool — the paper reports these as very large cross-over points).
+func CrossOver(curve []BudgetPoint, target float64) int {
+	for _, pt := range curve {
+		if pt.AUPRC >= target {
+			return pt.Budget
+		}
+	}
+	return 0
+}
+
+// FitGraphWeights exposes label-propagation feature-weight fitting for the
+// pipeline and tools; see labelprop.FitFeatureWeights.
+func FitGraphWeights(vecs []*feature.Vector, labels []int8, scales feature.Scales, pairs int, seed int64) (feature.Weights, error) {
+	return labelprop.FitFeatureWeights(vecs, labels, scales, pairs, seed)
+}

@@ -1,0 +1,401 @@
+package core
+
+import (
+	"context"
+	"os"
+	"sync"
+	"testing"
+
+	"crossmodal/internal/fusion"
+	"crossmodal/internal/metrics"
+	"crossmodal/internal/model"
+	"crossmodal/internal/resource"
+	"crossmodal/internal/synth"
+)
+
+// testEnv caches one world/library/dataset across tests (building them is
+// the expensive part).
+var (
+	envOnce sync.Once
+	envLib  *resource.Library
+	envDS   *synth.Dataset
+)
+
+func testEnv(t *testing.T) (*resource.Library, *synth.Dataset) {
+	t.Helper()
+	envOnce.Do(func() {
+		w := synth.MustWorld(synth.DefaultConfig())
+		lib, err := resource.StandardLibrary(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		task, err := synth.TaskByName("CT1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := 1
+		if full := os.Getenv("CROSSMODAL_FULL"); full != "" {
+			size = 4
+		}
+		ds, err := synth.BuildDataset(w, task, synth.DatasetConfig{
+			Seed:              21,
+			NumText:           5000 * size,
+			NumUnlabeledImage: 2500 * size,
+			NumHandLabelPool:  2500 * size,
+			NumTest:           2000 * size,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		envLib, envDS = lib, ds
+	})
+	if envLib == nil {
+		t.Fatal("environment setup failed")
+	}
+	return envLib, envDS
+}
+
+func smallOptions() Options {
+	o := DefaultOptions()
+	o.MaxGraphSeeds = 1200
+	o.GraphDevNodes = 500
+	o.Graph.MaxCandidates = 120
+	o.Model = model.Config{Epochs: 5, LearningRate: 0.02, Seed: 5}
+	return o
+}
+
+func runPipeline(t *testing.T, opts Options) (*Pipeline, *Result) {
+	t.Helper()
+	lib, ds := testEnv(t)
+	p, err := NewPipeline(lib, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(context.Background(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, res
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	_, ds := testEnv(t)
+	p, res := runPipeline(t, smallOptions())
+
+	if res.Report.LFCount == 0 {
+		t.Fatal("pipeline generated no LFs")
+	}
+	if res.Report.WSCoverage == 0 {
+		t.Fatal("weak supervision covered nothing")
+	}
+	baseRate := metrics.BaseRate(synth.Labels(ds.UnlabeledImage))
+	if res.Report.WSPrecision < 2*baseRate {
+		t.Errorf("WS precision %.3f below 2x base rate %.3f", res.Report.WSPrecision, baseRate)
+	}
+	auprc, err := p.EvaluateAUPRC(context.Background(), res.Predictor, ds.TestImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := metrics.BaseRate(synth.Labels(ds.TestImage))
+	if auprc < 3*base {
+		t.Errorf("cross-modal AUPRC %.3f should clearly beat base rate %.3f", auprc, base)
+	}
+	for _, stage := range []string{"featurize", "lf-generation", "lf-apply", "label-propagation", "label-model", "train"} {
+		if _, ok := res.Report.Timings[stage]; !ok {
+			t.Errorf("missing timing for stage %q", stage)
+		}
+	}
+}
+
+func TestPipelineLabelPropImprovesRecall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	without := smallOptions()
+	without.UseLabelProp = false
+	_, resNo := runPipeline(t, without)
+	_, resYes := runPipeline(t, smallOptions())
+	if resYes.Report.WSRecall < resNo.Report.WSRecall {
+		t.Errorf("label propagation reduced WS recall: %.4f -> %.4f",
+			resNo.Report.WSRecall, resYes.Report.WSRecall)
+	}
+	if resYes.Report.LFCount != resNo.Report.LFCount+1 {
+		t.Errorf("labelprop LF not appended: %d vs %d", resYes.Report.LFCount, resNo.Report.LFCount)
+	}
+}
+
+func TestPipelineMajorityVoteFallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	opts := smallOptions()
+	opts.UseGenerative = false
+	_, res := runPipeline(t, opts)
+	if res.Report.LabelModel != nil {
+		t.Error("majority-vote run should not fit a generative model")
+	}
+	if res.Report.WSCoverage == 0 {
+		t.Error("majority vote produced no coverage")
+	}
+}
+
+func TestPipelineCrossModalBeatsTextOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	ctx := context.Background()
+	_, ds := testEnv(t)
+
+	textOnly := smallOptions()
+	textOnly.UseImage = false
+	pText, resText := runPipeline(t, textOnly)
+	aucText, err := pText.EvaluateAUPRC(ctx, resText.Predictor, ds.TestImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pBoth, resBoth := runPipeline(t, smallOptions())
+	aucBoth, err := pBoth.EvaluateAUPRC(ctx, resBoth.Predictor, ds.TestImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper finding 3/4 (§6.6): joint training beats text-only inference
+	// on the new modality.
+	if aucBoth <= aucText {
+		t.Errorf("cross-modal AUPRC %.3f should beat text-only %.3f", aucBoth, aucText)
+	}
+}
+
+func TestPipelineOptionValidation(t *testing.T) {
+	lib, _ := testEnv(t)
+	bad := []Options{
+		{UseText: false, UseImage: false},
+		{UseText: true, UseImage: true, Fusion: "bogus"},
+		{UseText: true, UseImage: true, LFSource: "bogus"},
+		{UseText: true, UseImage: false, Fusion: DeViSE},
+	}
+	for i, o := range bad {
+		if _, err := NewPipeline(lib, o); err == nil {
+			t.Errorf("options %d should be rejected", i)
+		}
+	}
+	if _, err := NewPipeline(nil, DefaultOptions()); err == nil {
+		t.Error("nil library should be rejected")
+	}
+}
+
+func TestEndSchemaRespectsServability(t *testing.T) {
+	lib, _ := testEnv(t)
+	p, err := NewPipeline(lib, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := p.EndSchema()
+	if _, ok := schema.Index("user_reports"); ok {
+		t.Error("nonservable feature leaked into the end-model schema")
+	}
+	if _, ok := schema.Index("img_embedding"); !ok {
+		t.Error("modality features missing from default end schema")
+	}
+	noMod := DefaultOptions()
+	noMod.IncludeModalityFeatures = false
+	p2, _ := NewPipeline(lib, noMod)
+	if _, ok := p2.EndSchema().Index("img_embedding"); ok {
+		t.Error("modality features present despite IncludeModalityFeatures=false")
+	}
+}
+
+func TestSupervisedCurveMonotoneTrend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	lib, ds := testEnv(t)
+	p, err := NewPipeline(lib, smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	schema := p.SchemaFor(resource.ABCD, true, false)
+	curve, err := p.SupervisedCurve(ctx, ds.HandLabelPool, ds.TestImage,
+		[]int{100, 2500, 999999}, schema, model.Config{Epochs: 5, Seed: 3, LearningRate: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 2 {
+		t.Fatalf("curve has %d points, want 2 (oversized budget skipped)", len(curve))
+	}
+	if curve[1].AUPRC <= curve[0].AUPRC {
+		t.Errorf("more hand labels should help: %.3f @%d vs %.3f @%d",
+			curve[0].AUPRC, curve[0].Budget, curve[1].AUPRC, curve[1].Budget)
+	}
+}
+
+func TestCrossOver(t *testing.T) {
+	curve := []BudgetPoint{{100, 0.3}, {500, 0.5}, {1000, 0.7}}
+	if got := CrossOver(curve, 0.45); got != 500 {
+		t.Errorf("CrossOver = %d, want 500", got)
+	}
+	if got := CrossOver(curve, 0.9); got != 0 {
+		t.Errorf("unreachable CrossOver = %d, want 0", got)
+	}
+}
+
+func TestEmbeddingOnlySchema(t *testing.T) {
+	lib, _ := testEnv(t)
+	p, _ := NewPipeline(lib, DefaultOptions())
+	s := p.EmbeddingOnlySchema()
+	if s.Len() != 1 {
+		t.Fatalf("embedding schema has %d features, want 1", s.Len())
+	}
+	if _, ok := s.Index("img_embedding"); !ok {
+		t.Error("embedding schema missing img_embedding")
+	}
+}
+
+func TestTuneModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	_, res := runPipeline(t, smallOptions())
+	lib, _ := testEnv(t)
+	p, err := NewPipeline(lib, smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := p.TuneModel(res.Curation, p.DefaultTrainSpec(), 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuned.Trials) != 4 {
+		t.Fatalf("trials = %d, want 4", len(tuned.Trials))
+	}
+	if tuned.Score <= 0 {
+		t.Errorf("tuned validation score = %v", tuned.Score)
+	}
+	for _, tr := range tuned.Trials {
+		if tr.Score > tuned.Score {
+			t.Errorf("best score %.3f below trial %.3f", tuned.Score, tr.Score)
+		}
+	}
+	// The tuned config must be usable for a final fit.
+	spec := p.DefaultTrainSpec()
+	spec.Model = tuned.Config
+	if _, err := p.Train(res.Curation, spec); err != nil {
+		t.Fatalf("final fit with tuned config: %v", err)
+	}
+}
+
+func TestTuneModelValidation(t *testing.T) {
+	lib, _ := testEnv(t)
+	p, err := NewPipeline(lib, smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny := &Curation{}
+	if _, err := p.TuneModel(tiny, p.DefaultTrainSpec(), 2, 1); err == nil {
+		t.Error("expected error for tiny curation")
+	}
+}
+
+func TestTrainSpecVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	_, res := runPipeline(t, smallOptions())
+	lib, ds := testEnv(t)
+	p, err := NewPipeline(lib, smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	testVecs, err := p.Featurize(ctx, ds.TestImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := synth.Labels(ds.TestImage)
+
+	// Schema override: an embedding-only model must ignore everything else.
+	spec := p.DefaultTrainSpec()
+	spec.Schema = p.EmbeddingOnlySchema()
+	embOnly, err := p.Train(res.Curation, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := metrics.AUPRC(labels, embOnly.PredictBatch(testVecs)); auc <= 0 {
+		t.Errorf("embedding-only AUPRC = %v", auc)
+	}
+
+	// No modality is an error.
+	bad := p.DefaultTrainSpec()
+	bad.UseText, bad.UseImage = false, false
+	if _, err := p.Train(res.Curation, bad); err == nil {
+		t.Error("expected error for no-modality spec")
+	}
+
+	// DeViSE without both modalities is an error.
+	devise := p.DefaultTrainSpec()
+	devise.Fusion = DeViSE
+	devise.UseText = false
+	if _, err := p.Train(res.Curation, devise); err == nil {
+		t.Error("expected error for single-modality DeViSE")
+	}
+
+	// Extra corpora join training and shift predictions.
+	extraSpec := p.DefaultTrainSpec()
+	plain, err := p.Train(res.Curation, extraSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extraVecs, err := p.Featurize(ctx, ds.HandLabelPool[:200])
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := make([]float64, len(extraVecs))
+	weights := make([]float64, len(extraVecs))
+	for i, pt := range ds.HandLabelPool[:200] {
+		if pt.Label > 0 {
+			targets[i] = 1
+		}
+		weights[i] = 5
+	}
+	extraSpec.Extra = []fusion.Corpus{{Name: "extra", Vectors: extraVecs, Targets: targets, Weights: weights}}
+	boosted, err := p.Train(res.Curation, extraSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < 20; i++ {
+		if plain.Predict(testVecs[i]) != boosted.Predict(testVecs[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("extra corpus had no effect on the trained model")
+	}
+}
+
+func TestCurationSkipsWSWithoutImage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	lib, ds := testEnv(t)
+	opts := smallOptions()
+	opts.UseImage = false
+	p, err := NewPipeline(lib, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := p.Curate(context.Background(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Report.LFCount != 0 || cur.Report.WSCoverage != 0 {
+		t.Error("text-only curation should skip weak supervision")
+	}
+	if _, ok := cur.Report.Timings["lf-generation"]; ok {
+		t.Error("text-only curation should not run LF generation")
+	}
+}

@@ -1,0 +1,656 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"crossmodal/internal/feature"
+	"crossmodal/internal/fusion"
+	"crossmodal/internal/labelmodel"
+	"crossmodal/internal/labelprop"
+	"crossmodal/internal/lf"
+	"crossmodal/internal/mapreduce"
+	"crossmodal/internal/metrics"
+	"crossmodal/internal/mining"
+	"crossmodal/internal/model"
+	"crossmodal/internal/resource"
+	"crossmodal/internal/synth"
+)
+
+// Pipeline is the cross-modal adaptation pipeline bound to an
+// organizational-resource library.
+type Pipeline struct {
+	lib  *resource.Library
+	opts Options
+}
+
+// NewPipeline builds a pipeline. Options zero values fall back to defaults.
+func NewPipeline(lib *resource.Library, opts Options) (*Pipeline, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if lib == nil {
+		return nil, fmt.Errorf("core: nil resource library")
+	}
+	return &Pipeline{lib: lib, opts: opts}, nil
+}
+
+// Options returns the pipeline's resolved options.
+func (p *Pipeline) Options() Options { return p.opts }
+
+// Library returns the pipeline's resource library.
+func (p *Pipeline) Library() *resource.Library { return p.lib }
+
+// Featurize maps points into the library's common feature space.
+func (p *Pipeline) Featurize(ctx context.Context, pts []*synth.Point) ([]*feature.Vector, error) {
+	return p.lib.Featurize(ctx, mapreduce.Config{Workers: p.opts.Workers}, pts)
+}
+
+// EndSchema returns the feature schema the discriminative end model trains
+// on: the servable features of the configured model sets, plus the
+// modality-specific sets when enabled.
+func (p *Pipeline) EndSchema() *feature.Schema {
+	sets := append([]string{}, p.opts.ModelSets...)
+	if p.opts.IncludeModalityFeatures {
+		sets = append(sets, resource.ImageSet, resource.TextSet)
+	}
+	return p.lib.Schema().Sets(sets...).Servable()
+}
+
+// lfSchema returns the feature space LFs may read: the LF sets, including
+// nonservable features (LFs run offline, §4.1).
+func (p *Pipeline) lfSchema() *feature.Schema {
+	return p.lib.Schema().Sets(p.opts.LFSets...)
+}
+
+// graphSchema returns the feature space used for propagation-graph edges:
+// the LF features plus the new modality's unstructured features (paper
+// §4.4: "we use features specific to the new modality to construct edges,
+// including unstructured features such as image embeddings").
+func (p *Pipeline) graphSchema() *feature.Schema {
+	sets := append(append([]string{}, p.opts.LFSets...), resource.ImageSet)
+	return p.lib.Schema().Sets(sets...)
+}
+
+// Result is a completed pipeline run.
+type Result struct {
+	// Predictor is the trained end model over the common feature space.
+	Predictor fusion.Predictor
+	// Curation carries the weak-supervision outputs and featurized
+	// corpora; reuse it with Train to fit further model variants without
+	// repeating the curation stages.
+	Curation *Curation
+	// ProbLabels are the weak-supervision probabilistic labels for the
+	// unlabeled new-modality corpus, aligned with Dataset.UnlabeledImage.
+	ProbLabels []float64
+	// Covered marks which unlabeled points received at least one LF vote
+	// (only covered points join end-model training).
+	Covered []bool
+	// Report carries diagnostics of every stage.
+	Report Report
+}
+
+// Curation is the output of the feature-generation and training-data
+// curation stages (Figure 3 A+B): featurized corpora plus probabilistic
+// labels for the new modality. One curation supports training any number of
+// end-model variants (different feature sets, modalities, or fusion
+// architectures).
+type Curation struct {
+	Dataset    *synth.Dataset
+	TextVecs   []*feature.Vector
+	ImageVecs  []*feature.Vector
+	TextLabels []int8
+	ProbLabels []float64
+	Covered    []bool
+	Report     Report
+}
+
+// Report summarizes a pipeline run's curation stages.
+type Report struct {
+	Task string
+	// Mining summarizes LF generation; LFCount the final LF count
+	// (including the propagation LF when enabled).
+	Mining  mining.Report
+	LFCount int
+	// DevStats holds each LF's precision/recall/coverage on the labeled
+	// old-modality dev set.
+	DevStats []lf.Stats
+	// Cuts are the tuned propagation-score thresholds; PropIters the
+	// propagation iterations (zero when label propagation is disabled).
+	Cuts      labelprop.Cuts
+	PropIters int
+	// LabelModel is the fitted generative model (nil under majority vote).
+	LabelModel *labelmodel.Model
+	// WS* report the curated labels' quality against the hidden ground
+	// truth of the unlabeled corpus — the paper's Table 3 metrics. These
+	// are diagnostics: the pipeline itself never trains on this truth.
+	WSPrecision, WSRecall, WSF1, WSCoverage float64
+	// Timings per stage.
+	Timings map[string]time.Duration
+}
+
+// Run executes the full pipeline on a dataset and returns the trained
+// predictor plus diagnostics. The unlabeled corpus's hidden labels are used
+// only to fill the Report's WS quality fields, never for training.
+func (p *Pipeline) Run(ctx context.Context, ds *synth.Dataset) (*Result, error) {
+	cur, err := p.Curate(ctx, ds)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	predictor, err := p.Train(cur, p.DefaultTrainSpec())
+	if err != nil {
+		return nil, err
+	}
+	cur.Report.Timings["train"] = time.Since(start)
+	return &Result{
+		Predictor:  predictor,
+		Curation:   cur,
+		ProbLabels: cur.ProbLabels,
+		Covered:    cur.Covered,
+		Report:     cur.Report,
+	}, nil
+}
+
+// Curate runs feature generation and training-data curation (stages A and B)
+// and returns the reusable curation. When the image modality is disabled the
+// weak-supervision stages are skipped entirely.
+func (p *Pipeline) Curate(ctx context.Context, ds *synth.Dataset) (*Curation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	timings := make(map[string]time.Duration)
+	stage := func(name string, start time.Time) { timings[name] = time.Since(start) }
+
+	// --- Stage A: feature generation (§3) ---
+	start := time.Now()
+	textVecs, err := p.Featurize(ctx, ds.LabeledText)
+	if err != nil {
+		return nil, fmt.Errorf("core: featurize text: %w", err)
+	}
+	imageVecs, err := p.Featurize(ctx, ds.UnlabeledImage)
+	if err != nil {
+		return nil, fmt.Errorf("core: featurize image: %w", err)
+	}
+	stage("featurize", start)
+	textLabels := synth.Labels(ds.LabeledText)
+
+	report := Report{Task: ds.Task.Name, Timings: timings}
+	if !p.opts.UseImage {
+		// Text-only configuration: no new-modality corpus to curate.
+		return &Curation{
+			Dataset:    ds,
+			TextVecs:   textVecs,
+			ImageVecs:  imageVecs,
+			TextLabels: textLabels,
+			ProbLabels: make([]float64, len(imageVecs)),
+			Covered:    make([]bool, len(imageVecs)),
+			Report:     report,
+		}, nil
+	}
+
+	// --- Stage B: training data curation (§4) ---
+	lfSchema := p.lfSchema()
+	lfTextVecs := reprojectAll(textVecs, lfSchema)
+	lfImageVecs := reprojectAll(imageVecs, lfSchema)
+
+	start = time.Now()
+	lfs, miningReport, err := p.buildLFs(ctx, lfTextVecs, textLabels)
+	if err != nil {
+		return nil, err
+	}
+	stage("lf-generation", start)
+
+	start = time.Now()
+	devMatrix, err := lf.Apply(ctx, mapreduce.Config{Workers: p.opts.Workers}, lfs, lfTextVecs)
+	if err != nil {
+		return nil, fmt.Errorf("core: apply LFs to dev: %w", err)
+	}
+	// Drop LFs that near-duplicate a better LF on the dev set: distinct
+	// services often observe the same latent attribute, and duplicated
+	// votes break the generative model's independence assumption.
+	if !p.opts.DisableLFDedup {
+		lfs, devMatrix = dedupeLFs(lfs, devMatrix, textLabels)
+	}
+	matrix, err := lf.Apply(ctx, mapreduce.Config{Workers: p.opts.Workers}, lfs, lfImageVecs)
+	if err != nil {
+		return nil, fmt.Errorf("core: apply LFs: %w", err)
+	}
+	stage("lf-apply", start)
+
+	report.Mining = miningReport
+	report.DevStats = lf.EvaluateAll(devMatrix, textLabels)
+
+	if p.opts.UseLabelProp {
+		start = time.Now()
+		cuts, iters, err := p.propagate(ctx, textVecs, textLabels, imageVecs, matrix, devMatrix)
+		if err != nil {
+			return nil, err
+		}
+		report.Cuts, report.PropIters = cuts, iters
+		stage("label-propagation", start)
+	}
+	report.LFCount = matrix.NumLFs()
+
+	start = time.Now()
+	probs, covered, lm, err := p.denoise(matrix, devMatrix, textLabels)
+	if err != nil {
+		return nil, err
+	}
+	report.LabelModel = lm
+	stage("label-model", start)
+	report.WSCoverage = coverageRate(covered)
+	report.WSPrecision, report.WSRecall, report.WSF1 = wsQuality(probs, covered, ds.UnlabeledImage, metrics.BaseRate(textLabels))
+
+	return &Curation{
+		Dataset:    ds,
+		TextVecs:   textVecs,
+		ImageVecs:  imageVecs,
+		TextLabels: textLabels,
+		ProbLabels: probs,
+		Covered:    covered,
+		Report:     report,
+	}, nil
+}
+
+// dedupeLFs greedily keeps LFs in descending dev-quality order, dropping
+// any whose non-abstain votes agree with an already kept LF on >= 95% of
+// their overlap (with overlap covering >= 60% of the smaller LF's votes).
+func dedupeLFs(lfs []*lf.LF, devMatrix *lf.Matrix, devLabels []int8) ([]*lf.LF, *lf.Matrix) {
+	stats := lf.EvaluateAll(devMatrix, devLabels)
+	order := make([]int, len(lfs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		qa := stats[order[a]].Precision * stats[order[a]].Recall
+		qb := stats[order[b]].Precision * stats[order[b]].Recall
+		if qa != qb {
+			return qa > qb
+		}
+		return lfs[order[a]].Name < lfs[order[b]].Name
+	})
+	cols := make([][]int8, len(lfs))
+	for j := range lfs {
+		cols[j] = devMatrix.Column(j)
+	}
+	var keptIdx []int
+	for _, j := range order {
+		dup := false
+		for _, k := range keptIdx {
+			var agree, overlap, votesJ, votesK int
+			for i := range cols[j] {
+				vj, vk := cols[j][i], cols[k][i]
+				if vj != 0 {
+					votesJ++
+				}
+				if vk != 0 {
+					votesK++
+				}
+				if vj != 0 && vk != 0 {
+					overlap++
+					if vj == vk {
+						agree++
+					}
+				}
+			}
+			smaller := votesJ
+			if votesK < smaller {
+				smaller = votesK
+			}
+			if smaller > 0 && overlap >= smaller*3/5 && float64(agree) >= 0.95*float64(overlap) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			keptIdx = append(keptIdx, j)
+		}
+	}
+	sort.Ints(keptIdx)
+	if len(keptIdx) == len(lfs) {
+		return lfs, devMatrix
+	}
+	kept := make([]*lf.LF, len(keptIdx))
+	names := make([]string, len(keptIdx))
+	votes := make([][]int8, devMatrix.NumPoints())
+	for i := range votes {
+		row := make([]int8, len(keptIdx))
+		for c, j := range keptIdx {
+			row[c] = devMatrix.Votes[i][j]
+		}
+		votes[i] = row
+	}
+	for c, j := range keptIdx {
+		kept[c] = lfs[j]
+		names[c] = lfs[j].Name
+	}
+	return kept, &lf.Matrix{Votes: votes, Names: names}
+}
+
+func reprojectAll(vecs []*feature.Vector, schema *feature.Schema) []*feature.Vector {
+	out := make([]*feature.Vector, len(vecs))
+	for i, v := range vecs {
+		out[i] = v.Reproject(schema)
+	}
+	return out
+}
+
+// buildLFs generates labeling functions from the labeled old-modality corpus
+// per the configured source.
+func (p *Pipeline) buildLFs(ctx context.Context, devVecs []*feature.Vector, devLabels []int8) ([]*lf.LF, mining.Report, error) {
+	switch p.opts.LFSource {
+	case ExpertLFs:
+		expert := lf.DefaultExpert()
+		rng := rand.New(rand.NewSource(p.opts.Seed ^ 0xe4be27))
+		lfs, err := expert.Develop(devVecs, devLabels, rng)
+		if err != nil {
+			return nil, mining.Report{}, fmt.Errorf("core: expert LFs: %w", err)
+		}
+		return lfs, mining.Report{}, nil
+	default:
+		lfs, rep, err := mining.Mine(ctx, mapreduce.Config{Workers: p.opts.Workers}, p.opts.Mining, devVecs, devLabels)
+		if err != nil {
+			return nil, rep, fmt.Errorf("core: mine LFs: %w", err)
+		}
+		return lfs, rep, nil
+	}
+}
+
+// propagate runs label propagation from labeled text seeds through the
+// common-feature graph to the unlabeled image corpus, tunes vote cuts on
+// held-out text, and appends the resulting score LF to the image matrix.
+func (p *Pipeline) propagate(ctx context.Context, textVecs []*feature.Vector, textLabels []int8, imageVecs []*feature.Vector, matrix, devMatrix *lf.Matrix) (labelprop.Cuts, int, error) {
+	gSchema := p.graphSchema()
+	rng := rand.New(rand.NewSource(p.opts.Seed ^ 0x9a6b))
+	perm := rng.Perm(len(textVecs))
+	nSeeds := min(p.opts.MaxGraphSeeds, len(perm))
+	nDev := min(p.opts.GraphDevNodes, len(perm)-nSeeds)
+	if nDev == 0 && len(perm) >= 8 {
+		// Small corpus: split three quarters seeds, one quarter dev.
+		nSeeds = len(perm) * 3 / 4
+		nDev = len(perm) - nSeeds
+	}
+	if nSeeds == 0 || nDev == 0 {
+		return labelprop.Cuts{}, 0, fmt.Errorf("core: labeled corpus too small for propagation (%d points)", len(textVecs))
+	}
+	seedIdx, devIdx := perm[:nSeeds], perm[nSeeds:nSeeds+nDev]
+
+	nodes := make([]*feature.Vector, 0, nSeeds+nDev+len(imageVecs))
+	seeds := make(map[int]float64, nSeeds)
+	var posSeeds float64
+	for _, ti := range seedIdx {
+		if textLabels[ti] > 0 {
+			seeds[len(nodes)] = 1
+			posSeeds++
+		} else {
+			seeds[len(nodes)] = 0
+		}
+		nodes = append(nodes, textVecs[ti].Reproject(gSchema))
+	}
+	devStart := len(nodes)
+	for _, ti := range devIdx {
+		nodes = append(nodes, textVecs[ti].Reproject(gSchema))
+	}
+	imageStart := len(nodes)
+	nodes = append(nodes, reprojectAll(imageVecs, gSchema)...)
+
+	scales := feature.FitScales(gSchema, nodes)
+	gcfg := p.opts.Graph
+	gcfg.Seed = p.opts.Seed ^ 0x6a7f
+	gcfg.Workers = p.opts.Workers
+	if gcfg.Weights == nil && !p.opts.UniformGraphWeights {
+		// Learn per-feature edge weights from the seeded labeled nodes so
+		// discriminative features dominate the graph.
+		seedLabels := make([]int8, nSeeds)
+		for si, ti := range seedIdx {
+			seedLabels[si] = textLabels[ti]
+		}
+		weights, werr := FitGraphWeights(nodes[:nSeeds], seedLabels, scales, 20000, p.opts.Seed^0x77)
+		if werr == nil {
+			gcfg.Weights = weights
+		}
+	}
+	graph, err := labelprop.BuildGraph(ctx, gcfg, nodes, scales)
+	if err != nil {
+		return labelprop.Cuts{}, 0, fmt.Errorf("core: build graph: %w", err)
+	}
+	pcfg := p.opts.Prop
+	pcfg.Prior = posSeeds / float64(nSeeds)
+	res, err := labelprop.Propagate(ctx, graph, seeds, pcfg)
+	if err != nil {
+		return labelprop.Cuts{}, 0, fmt.Errorf("core: propagate: %w", err)
+	}
+
+	devScores := res.Scores[devStart:imageStart]
+	devLabels := make([]int8, nDev)
+	for i, ti := range devIdx {
+		devLabels[i] = textLabels[ti]
+	}
+	base := posSeeds / float64(nSeeds)
+	posTarget := p.opts.PosCutLift * base
+	if posTarget < 0.03 {
+		posTarget = 0.03
+	}
+	if posTarget > 0.8 {
+		posTarget = 0.8
+	}
+	// The negative cut must deplete positives below the base rate, not
+	// merely match the (already high) negative prior.
+	negTarget := 1 - base/3
+	if negTarget < p.opts.NegCutPrecision {
+		negTarget = p.opts.NegCutPrecision
+	}
+	cuts, err := labelprop.ChooseCuts(devScores, devLabels, posTarget, negTarget)
+	if err != nil {
+		return labelprop.Cuts{}, 0, fmt.Errorf("core: choose cuts: %w", err)
+	}
+	// Bound the propagation LF's negative votes to the clearly negative
+	// tail (the paper's "large volumes of negative examples"): a blanket
+	// negative vote near the prior would crush borderline positives.
+	imageScores := append([]float64(nil), res.Scores[imageStart:]...)
+	sort.Float64s(imageScores)
+	if q := imageScores[len(imageScores)/4]; cuts.Neg > q {
+		cuts.Neg = q
+	}
+	scoreLF := &lf.ScoreLF{
+		Name:    "labelprop",
+		Source:  "labelprop",
+		Scores:  res.Scores[imageStart:],
+		Present: res.Reached[imageStart:],
+		PosCut:  cuts.Pos,
+		NegCut:  cuts.Neg,
+	}
+	if err := matrix.AppendScoreLF(scoreLF); err != nil {
+		return labelprop.Cuts{}, 0, fmt.Errorf("core: append propagation LF: %w", err)
+	}
+	// Mirror the propagation LF onto the labeled dev matrix (scores of the
+	// held-out, unseeded text nodes) so the dev-anchored label model can
+	// estimate its reliability like any other LF. Dev rows outside the
+	// held-out sample abstain.
+	devVotes := &lf.ScoreLF{
+		Name:    "labelprop",
+		Source:  "labelprop",
+		Scores:  make([]float64, devMatrix.NumPoints()),
+		Present: make([]bool, devMatrix.NumPoints()),
+		PosCut:  cuts.Pos,
+		NegCut:  cuts.Neg,
+	}
+	for i, ti := range devIdx {
+		devVotes.Scores[ti] = devScores[i]
+		devVotes.Present[ti] = res.Reached[devStart+i]
+	}
+	if err := devMatrix.AppendScoreLF(devVotes); err != nil {
+		return labelprop.Cuts{}, 0, fmt.Errorf("core: append dev propagation LF: %w", err)
+	}
+	return cuts, res.Iters, nil
+}
+
+// denoise converts the vote matrix into probabilistic labels via the
+// dev-anchored label model (or majority vote). Each LF's class-conditional
+// reliability is estimated on the labeled old-modality dev matrix (§4.2),
+// then applied to the new modality's votes.
+func (p *Pipeline) denoise(matrix, devMatrix *lf.Matrix, textLabels []int8) ([]float64, []bool, *labelmodel.Model, error) {
+	covered := labelmodel.Covered(matrix)
+	if !p.opts.UseGenerative {
+		return labelmodel.MajorityVote(matrix), covered, nil, nil
+	}
+	lmCfg := p.opts.LabelModel
+	if lmCfg.ClassBalance <= 0 {
+		lmCfg.ClassBalance = metrics.BaseRate(textLabels)
+	}
+	var lm *labelmodel.Model
+	var err error
+	if p.opts.UseEMLabelModel {
+		lm, err = labelmodel.FitGenerative(matrix, lmCfg)
+	} else {
+		lm, err = labelmodel.FitSupervised(devMatrix, textLabels, lmCfg)
+	}
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("core: fit label model: %w", err)
+	}
+	probs, err := lm.Predict(matrix)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("core: label model predict: %w", err)
+	}
+	return probs, covered, lm, nil
+}
+
+// TrainSpec selects one end-model variant to train from a curation.
+type TrainSpec struct {
+	// ModelSets are the organizational service sets available to the
+	// model (servable features only).
+	ModelSets []string
+	// IncludeModalityFeatures adds the image- and text-specific sets.
+	IncludeModalityFeatures bool
+	// UseText / UseImage select the training corpora.
+	UseText, UseImage bool
+	// Fusion selects the architecture.
+	Fusion FusionKind
+	// Model configures the network.
+	Model model.Config
+	// Schema, when non-nil, overrides the schema composed from ModelSets
+	// (e.g. the embedding-only baseline schema).
+	Schema *feature.Schema
+	// Extra appends additional training corpora (e.g. hand-reviewed
+	// points from an active-learning loop) alongside the curation's.
+	Extra []fusion.Corpus
+}
+
+// DefaultTrainSpec returns the spec implied by the pipeline options.
+func (p *Pipeline) DefaultTrainSpec() TrainSpec {
+	return TrainSpec{
+		ModelSets:               p.opts.ModelSets,
+		IncludeModalityFeatures: p.opts.IncludeModalityFeatures,
+		UseText:                 p.opts.UseText,
+		UseImage:                p.opts.UseImage,
+		Fusion:                  p.opts.Fusion,
+		Model:                   p.opts.Model,
+	}
+}
+
+// Train fits one end-model variant (stage C, §5) from a curation.
+func (p *Pipeline) Train(cur *Curation, spec TrainSpec) (fusion.Predictor, error) {
+	if !spec.UseText && !spec.UseImage {
+		return nil, fmt.Errorf("core: train spec enables no modality")
+	}
+	schema := spec.Schema
+	if schema == nil {
+		schema = p.SchemaFor(spec.ModelSets, spec.IncludeModalityFeatures, spec.IncludeModalityFeatures)
+	}
+	cfg := fusion.Config{Schema: schema, Model: spec.Model, MaxVocab: p.opts.MaxVocab}
+	var corpora []fusion.Corpus
+	var textCorpus, imageCorpus fusion.Corpus
+	if spec.UseText {
+		targets := make([]float64, len(cur.TextLabels))
+		for i, l := range cur.TextLabels {
+			if l > 0 {
+				targets[i] = 1
+			}
+		}
+		textCorpus = fusion.Corpus{Name: "text", Vectors: cur.TextVecs, Targets: targets}
+		corpora = append(corpora, textCorpus)
+	}
+	if spec.UseImage {
+		var vecs []*feature.Vector
+		var targets []float64
+		for i, v := range cur.ImageVecs {
+			if cur.Covered[i] {
+				vecs = append(vecs, v)
+				targets = append(targets, cur.ProbLabels[i])
+			}
+		}
+		if len(vecs) == 0 {
+			return nil, fmt.Errorf("core: weak supervision covered no image points")
+		}
+		imageCorpus = fusion.Corpus{Name: "image", Vectors: vecs, Targets: targets}
+		corpora = append(corpora, imageCorpus)
+	}
+	corpora = append(corpora, spec.Extra...)
+	switch spec.Fusion {
+	case IntermediateFusion:
+		return fusion.TrainIntermediate(corpora, cfg)
+	case DeViSE:
+		if !spec.UseText || !spec.UseImage {
+			return nil, fmt.Errorf("core: DeViSE needs both modalities")
+		}
+		return fusion.TrainDeViSE([]fusion.Corpus{textCorpus}, imageCorpus, cfg)
+	default:
+		return fusion.TrainEarly(corpora, cfg)
+	}
+}
+
+func coverageRate(covered []bool) float64 {
+	if len(covered) == 0 {
+		return 0
+	}
+	n := 0
+	for _, c := range covered {
+		if c {
+			n++
+		}
+	}
+	return float64(n) / float64(len(covered))
+}
+
+// wsQuality measures the curated labels against the hidden ground truth of
+// the unlabeled corpus (diagnostics only; paper Table 3 metrics). The
+// decision cut is prior-relative — min(0.5, 5 × class balance) — because in
+// heavily imbalanced tasks a well-calibrated posterior rarely crosses 0.5
+// even for clear positives, yet a posterior several times the prior is a
+// confident positive call.
+func wsQuality(probs []float64, covered []bool, pts []*synth.Point, prior float64) (precision, recall, f1 float64) {
+	cut := 0.5
+	if rel := 5 * prior; rel < cut && rel > 0 {
+		cut = rel
+	}
+	var c metrics.Confusion
+	for i, pt := range pts {
+		if !covered[i] {
+			// Uncovered points count as missed positives for recall.
+			if pt.Label > 0 {
+				c.FN++
+			} else {
+				c.TN++
+			}
+			continue
+		}
+		pred := int8(-1)
+		if probs[i] >= cut {
+			pred = 1
+		}
+		c.Add(pt.Label, pred)
+	}
+	return c.Precision(), c.Recall(), c.F1()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

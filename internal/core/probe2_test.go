@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"crossmodal/internal/feature"
+	"crossmodal/internal/metrics"
+	"crossmodal/internal/synth"
+)
+
+func TestDiagEmbeddingCeiling(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip()
+	}
+	lib, ds := testEnv(t)
+	w := lib.World()
+	// Ideal linear score: projection onto the risky topic directions.
+	dir := make([]float64, w.Config().EmbeddingDim)
+	for topic := 0; topic < w.Config().NumTopics; topic++ {
+		r := w.TopicRisk(topic)
+		if r > 0.7 {
+			emb := w.TopicEmbedding(topic)
+			for i := range dir {
+				dir[i] += r * emb[i]
+			}
+		}
+	}
+	var scores []float64
+	var labels []int8
+	for _, p := range ds.TestImage {
+		v := lib.FeaturizePoint(p).Get("img_embedding")
+		if v.Missing {
+			continue
+		}
+		var s float64
+		for i := range dir {
+			s += dir[i] * v.Vec[i]
+		}
+		scores = append(scores, s)
+		labels = append(labels, p.Label)
+	}
+	fmt.Printf("ideal-direction AUPRC=%.3f base=%.3f\n", metrics.AUPRC(labels, scores), metrics.BaseRate(labels))
+	// Oracle upper bound: score = true latent task score.
+	var ts []float64
+	for _, p := range ds.TestImage {
+		ts = append(ts, ds.Task.Score(w, p.Entity))
+	}
+	fmt.Printf("latent-score AUPRC=%.3f\n", metrics.AUPRC(synth.Labels(ds.TestImage), ts))
+	_ = feature.Jaccard
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"crossmodal/internal/synth"
+)
+
+func TestDiagTopicDecomposition(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip()
+	}
+	lib, ds := testEnv(t)
+	for _, topic := range []int{3, 4} {
+		for _, corpus := range []struct {
+			name string
+			pts  []*synth.Point
+		}{{"text", ds.LabeledText}, {"image", ds.UnlabeledImage}} {
+			var trueT, obsT, posTrueT, posObsT, pos int
+			for _, p := range corpus.pts {
+				v := lib.FeaturizePoint(p)
+				obs := v.Get("topic").HasCategory(fmt.Sprintf("t%d", topic))
+				if p.Label > 0 {
+					pos++
+				}
+				if p.Entity.Topic == topic {
+					trueT++
+					if p.Label > 0 {
+						posTrueT++
+					}
+				}
+				if obs {
+					obsT++
+					if p.Label > 0 {
+						posObsT++
+					}
+				}
+			}
+			n := float64(len(corpus.pts))
+			fmt.Printf("t%d %-5s: P(true)=%.4f P(obs)=%.4f P(pos|true)=%.3f P(pos|obs)=%.3f base=%.3f\n",
+				topic, corpus.name, float64(trueT)/n, float64(obsT)/n,
+				safe(posTrueT, trueT), safe(posObsT, obsT), float64(pos)/n)
+		}
+	}
+}
+
+func safe(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crossmodal/internal/feature"
+	"crossmodal/internal/metrics"
+	"crossmodal/internal/model"
+	"crossmodal/internal/tuner"
+)
+
+// TuneResult is the outcome of end-model hyperparameter tuning.
+type TuneResult struct {
+	// Config is the best model configuration found.
+	Config model.Config
+	// Score is its validation AUPRC.
+	Score float64
+	// Trials is the full search history.
+	Trials []tuner.Trial
+}
+
+// TuneModel searches end-model hyperparameters (learning rate, L2, epochs,
+// hidden width) with random search — the role Vizier plays in the paper's
+// TFX pipelines (§6.3). The objective trains the spec'd model variant on the
+// curation with a portion of the labeled old-modality corpus held out, and
+// scores validation AUPRC on that held-out portion (labels of the new
+// modality are never touched). The returned Config can be assigned to
+// TrainSpec.Model for the final fit.
+func (p *Pipeline) TuneModel(cur *Curation, spec TrainSpec, trials int, seed int64) (TuneResult, error) {
+	if trials <= 0 {
+		trials = 12
+	}
+	if len(cur.TextVecs) < 50 {
+		return TuneResult{}, fmt.Errorf("core: labeled corpus too small to tune (%d points)", len(cur.TextVecs))
+	}
+	// Hold out 25% of the labeled text corpus for validation.
+	rng := rand.New(rand.NewSource(seed ^ 0x7e57))
+	perm := rng.Perm(len(cur.TextVecs))
+	cutoff := len(perm) * 3 / 4
+	trainCur := *cur
+	trainCur.TextVecs = make([]*feature.Vector, 0, cutoff)
+	trainCur.TextLabels = make([]int8, 0, cutoff)
+	var valVecs []*feature.Vector
+	var valLabels []int8
+	for i, idx := range perm {
+		if i < cutoff {
+			trainCur.TextVecs = append(trainCur.TextVecs, cur.TextVecs[idx])
+			trainCur.TextLabels = append(trainCur.TextLabels, cur.TextLabels[idx])
+		} else {
+			valVecs = append(valVecs, cur.TextVecs[idx])
+			valLabels = append(valLabels, cur.TextLabels[idx])
+		}
+	}
+	if metrics.BaseRate(valLabels) == 0 {
+		return TuneResult{}, fmt.Errorf("core: validation split has no positives")
+	}
+
+	space := new(tuner.Space).
+		LogFloat("lr", 0.002, 0.1).
+		LogFloat("l2", 1e-6, 1e-2).
+		Int("epochs", 3, 10).
+		Choice("arch", "linear", "hidden16", "hidden32")
+
+	objective := func(params tuner.Params) (float64, error) {
+		mcfg := model.Config{
+			LearningRate: params.Float("lr"),
+			L2:           params.Float("l2"),
+			Epochs:       params.Int("epochs"),
+			Seed:         seed,
+		}
+		switch params.Choice("arch") {
+		case "hidden16":
+			mcfg.Hidden = []int{16}
+		case "hidden32":
+			mcfg.Hidden = []int{32}
+		}
+		trialSpec := spec
+		trialSpec.Model = mcfg
+		pred, err := p.Train(&trainCur, trialSpec)
+		if err != nil {
+			return 0, err
+		}
+		return metrics.AUPRC(valLabels, pred.PredictBatch(valVecs)), nil
+	}
+	best, history, err := tuner.RandomSearch(space, objective, trials, seed)
+	if err != nil {
+		return TuneResult{}, err
+	}
+	bestCfg := model.Config{
+		LearningRate: best.Params.Float("lr"),
+		L2:           best.Params.Float("l2"),
+		Epochs:       best.Params.Int("epochs"),
+		Seed:         seed,
+	}
+	switch best.Params.Choice("arch") {
+	case "hidden16":
+		bestCfg.Hidden = []int{16}
+	case "hidden32":
+		bestCfg.Hidden = []int{32}
+	}
+	return TuneResult{Config: bestCfg, Score: best.Score, Trials: history}, nil
+}

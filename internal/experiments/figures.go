@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+
+	"crossmodal/internal/core"
+	"crossmodal/internal/feature"
+	"crossmodal/internal/fusion"
+	"crossmodal/internal/resource"
+)
+
+// Figure5Series is one panel of paper Figure 5: the fully supervised
+// hand-label budget curve against the (flat) cross-modal pipeline line, for
+// one end-model feature configuration. LFs always use all four service sets;
+// the bottom panel removes set D from the end models, simulating nonservable
+// features (the paper's bottom panel removes C and D).
+type Figure5Series struct {
+	Label      string
+	Sets       []string
+	CrossModal float64 // baseline-relative AUPRC of the cross-modal pipeline
+	Supervised []core.BudgetPoint
+	CrossOver  int
+}
+
+// Figure5 regenerates both panels for the given task (the paper uses CT1).
+func (s *Suite) Figure5(ctx context.Context, taskName string) ([]Figure5Series, error) {
+	tc, err := s.ctxFor(ctx, taskName)
+	if err != nil {
+		return nil, err
+	}
+	panels := []struct {
+		label string
+		sets  []string
+	}{
+		{"ABCD (all features servable)", resource.ABCD},
+		{"ABC (set D nonservable: LFs only)", []string{resource.SetA, resource.SetB, resource.SetC}},
+	}
+	var out []Figure5Series
+	for _, panel := range panels {
+		spec := tc.pipe.DefaultTrainSpec()
+		spec.ModelSets = panel.sets
+		cross, err := tc.trainAndEval(tc.curation, spec)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure5 %s cross-modal: %w", panel.label, err)
+		}
+		schema := tc.pipe.SchemaFor(panel.sets, true, false)
+		curve, err := tc.supervisedCurve(ctx, tc.budgets(), schema)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure5 %s curve: %w", panel.label, err)
+		}
+		rel := tc.relative(cross)
+		out = append(out, Figure5Series{
+			Label:      panel.label,
+			Sets:       panel.sets,
+			CrossModal: rel,
+			Supervised: curve,
+			CrossOver:  core.CrossOver(curve, rel),
+		})
+	}
+	return out, nil
+}
+
+// RenderFigure5 writes the series as markdown tables.
+func RenderFigure5(w io.Writer, series []Figure5Series) {
+	for _, s := range series {
+		fmt.Fprintf(w, "\nEnd-model features %s — cross-modal relative AUPRC %.2f", s.Label, s.CrossModal)
+		if s.CrossOver > 0 {
+			fmt.Fprintf(w, ", cross-over at %d hand-labeled examples\n", s.CrossOver)
+		} else {
+			fmt.Fprintf(w, ", no cross-over within the pool\n")
+		}
+		fmt.Fprintln(w, "\n| Hand-labeled examples | Fully supervised | Cross-modal |")
+		fmt.Fprintln(w, "|----------------------:|----------------:|------------:|")
+		for _, pt := range s.Supervised {
+			fmt.Fprintf(w, "| %d | %.2f | %.2f |\n", pt.Budget, pt.AUPRC, s.CrossModal)
+		}
+	}
+}
+
+// Figure6Step is one bar of the paper's Figure 6 factor analysis: service
+// sets are added alternately to the text and image sides.
+type Figure6Step struct {
+	TextSets  []string
+	ImageSets []string // nil means no image data used
+	Relative  float64
+}
+
+// Label renders the step like the paper's x-axis ("T + AB / I + A").
+func (st Figure6Step) Label() string {
+	label := "T+" + strings.Join(st.TextSets, "")
+	if st.ImageSets == nil {
+		return label + " (no image)"
+	}
+	return label + " / I+" + strings.Join(st.ImageSets, "")
+}
+
+// Figure6 regenerates the factor analysis for one task (the paper uses CT1):
+// starting from text with set A only, each step adds a feature set to one
+// modality. Weak supervision always uses all sets (they are nonservable for
+// the restricted end models).
+func (s *Suite) Figure6(ctx context.Context, taskName string) ([]Figure6Step, error) {
+	tc, err := s.ctxFor(ctx, taskName)
+	if err != nil {
+		return nil, err
+	}
+	steps := []Figure6Step{
+		{TextSets: []string{"A"}, ImageSets: nil},
+		{TextSets: []string{"A"}, ImageSets: []string{"A"}},
+		{TextSets: []string{"A", "B"}, ImageSets: []string{"A"}},
+		{TextSets: []string{"A", "B"}, ImageSets: []string{"A", "B"}},
+		{TextSets: []string{"A", "B", "C"}, ImageSets: []string{"A", "B"}},
+		{TextSets: []string{"A", "B", "C"}, ImageSets: []string{"A", "B", "C"}},
+		{TextSets: []string{"A", "B", "C", "D"}, ImageSets: []string{"A", "B", "C"}},
+		{TextSets: []string{"A", "B", "C", "D"}, ImageSets: []string{"A", "B", "C", "D"}},
+	}
+	for i := range steps {
+		auprc, err := s.trainMasked(tc, steps[i].TextSets, steps[i].ImageSets, steps[i].ImageSets != nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure6 step %d: %w", i, err)
+		}
+		steps[i].Relative = tc.relative(auprc)
+	}
+	return steps, nil
+}
+
+// trainMasked trains an early-fusion model where the text corpus sees
+// textSets (plus text-specific features) and the image corpus sees imageSets
+// (plus image-specific features); the end-model schema is their union. This
+// implements the per-modality feature-set configurations of Figures 6 and 7.
+func (s *Suite) trainMasked(tc *taskContext, textSets, imageSets []string, useImage bool) (float64, error) {
+	lib := tc.pipe.Library()
+	textSchema := lib.Schema().Sets(append(append([]string{}, textSets...), resource.TextSet)...).Servable()
+	var imageSchema *feature.Schema
+	union := map[string]bool{}
+	for _, set := range textSets {
+		union[set] = true
+	}
+	if useImage {
+		imageSchema = lib.Schema().Sets(append(append([]string{}, imageSets...), resource.ImageSet)...).Servable()
+		for _, set := range imageSets {
+			union[set] = true
+		}
+	}
+	var unionSets []string
+	for set := range union {
+		unionSets = append(unionSets, set)
+	}
+	endSchema := tc.pipe.SchemaFor(unionSets, useImage, true)
+
+	cur := tc.curation
+	textTargets := make([]float64, len(cur.TextLabels))
+	for i, l := range cur.TextLabels {
+		if l > 0 {
+			textTargets[i] = 1
+		}
+	}
+	corpora := []fusion.Corpus{{
+		Name:    "text",
+		Vectors: maskVectors(cur.TextVecs, textSchema),
+		Targets: textTargets,
+	}}
+	if useImage {
+		var vecs []*feature.Vector
+		var targets []float64
+		for i, v := range cur.ImageVecs {
+			if cur.Covered[i] {
+				vecs = append(vecs, v.Reproject(imageSchema))
+				targets = append(targets, cur.ProbLabels[i])
+			}
+		}
+		corpora = append(corpora, fusion.Corpus{Name: "image", Vectors: vecs, Targets: targets})
+	}
+	pred, err := fusion.TrainEarly(corpora, fusion.Config{Schema: endSchema, Model: endModelConfig()})
+	if err != nil {
+		return 0, err
+	}
+	// Test vectors are masked to the image-side view.
+	testSchema := textSchema
+	if useImage {
+		testSchema = imageSchema
+	}
+	masked := maskVectors(tc.testVecs, testSchema)
+	return metricsAUPRC(tc.testLabels, pred, masked), nil
+}
+
+func maskVectors(vecs []*feature.Vector, schema *feature.Schema) []*feature.Vector {
+	out := make([]*feature.Vector, len(vecs))
+	for i, v := range vecs {
+		out[i] = v.Reproject(schema)
+	}
+	return out
+}
+
+func metricsAUPRC(labels []int8, pred fusion.Predictor, vecs []*feature.Vector) float64 {
+	return auprcOf(labels, pred.PredictBatch(vecs))
+}
+
+// RenderFigure6 writes the steps as a markdown table.
+func RenderFigure6(w io.Writer, steps []Figure6Step) {
+	fmt.Fprintln(w, "| Configuration | Relative AUPRC |")
+	fmt.Fprintln(w, "|---------------|---------------:|")
+	for _, st := range steps {
+		fmt.Fprintf(w, "| %s | %.2f |\n", st.Label(), st.Relative)
+	}
+}
+
+// Figure7Row is one service-prefix column of the paper's Figure 7 lesion
+// study: text-only, image-only, and joint models under the same feature
+// sets.
+type Figure7Row struct {
+	Sets      []string
+	TextOnly  float64
+	ImageOnly float64
+	Both      float64
+}
+
+// Figure7 regenerates the modality lesion study for one task.
+func (s *Suite) Figure7(ctx context.Context, taskName string) ([]Figure7Row, error) {
+	tc, err := s.ctxFor(ctx, taskName)
+	if err != nil {
+		return nil, err
+	}
+	prefixes := [][]string{
+		{"A"},
+		{"A", "B"},
+		{"A", "B", "C"},
+		{"A", "B", "C", "D"},
+	}
+	var rows []Figure7Row
+	for _, sets := range prefixes {
+		row := Figure7Row{Sets: sets}
+
+		textOnly, err := s.trainMasked(tc, sets, nil, false)
+		if err != nil {
+			return nil, err
+		}
+		row.TextOnly = tc.relative(textOnly)
+
+		spec := tc.pipe.DefaultTrainSpec()
+		spec.ModelSets = sets
+		spec.UseText, spec.UseImage = false, true
+		imageOnly, err := tc.trainAndEval(tc.curation, spec)
+		if err != nil {
+			return nil, err
+		}
+		row.ImageOnly = tc.relative(imageOnly)
+
+		both, err := s.trainMasked(tc, sets, sets, true)
+		if err != nil {
+			return nil, err
+		}
+		row.Both = tc.relative(both)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFigure7 writes the rows as a markdown table.
+func RenderFigure7(w io.Writer, rows []Figure7Row) {
+	fmt.Fprintln(w, "| Services | Text only | Image only | Text + Image |")
+	fmt.Fprintln(w, "|----------|----------:|-----------:|-------------:|")
+	for _, r := range rows {
+		fmt.Fprintf(w, "| %s | %.2f | %.2f | %.2f |\n",
+			strings.Join(r.Sets, ""), r.TextOnly, r.ImageOnly, r.Both)
+	}
+}

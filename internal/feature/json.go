@@ -1,0 +1,126 @@
+package feature
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonDef is the wire form of a Def.
+type jsonDef struct {
+	Name     string `json:"name"`
+	Kind     string `json:"kind"`
+	Set      string `json:"set,omitempty"`
+	Servable bool   `json:"servable"`
+	Dim      int    `json:"dim,omitempty"`
+}
+
+// MarshalJSON encodes the schema as an ordered list of feature definitions.
+func (s *Schema) MarshalJSON() ([]byte, error) {
+	out := make([]jsonDef, s.Len())
+	for i, d := range s.defs {
+		out[i] = jsonDef{Name: d.Name, Kind: d.Kind.String(), Set: d.Set, Servable: d.Servable, Dim: d.Dim}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a schema previously encoded with MarshalJSON.
+func (s *Schema) UnmarshalJSON(data []byte) error {
+	var defs []jsonDef
+	if err := json.Unmarshal(data, &defs); err != nil {
+		return fmt.Errorf("feature: decode schema: %w", err)
+	}
+	decoded := Schema{index: make(map[string]int, len(defs))}
+	for _, jd := range defs {
+		var kind Kind
+		switch jd.Kind {
+		case "categorical":
+			kind = Categorical
+		case "numeric":
+			kind = Numeric
+		case "embedding":
+			kind = Embedding
+		default:
+			return fmt.Errorf("feature: unknown kind %q for %q", jd.Kind, jd.Name)
+		}
+		if err := decoded.add(Def{Name: jd.Name, Kind: kind, Set: jd.Set, Servable: jd.Servable, Dim: jd.Dim}); err != nil {
+			return err
+		}
+	}
+	*s = decoded
+	return nil
+}
+
+// jsonValue is the wire form of one present feature value; exactly one
+// payload field is set, keyed by the schema's kind on decode.
+type jsonValue struct {
+	Categories []string  `json:"cats,omitempty"`
+	Num        *float64  `json:"num,omitempty"`
+	Vec        []float64 `json:"vec,omitempty"`
+}
+
+// MarshalJSON encodes the vector as a name → value object holding only the
+// present features. The schema itself is not embedded; pair the payload with
+// its schema (see UnmarshalVector).
+func (v *Vector) MarshalJSON() ([]byte, error) {
+	out := make(map[string]jsonValue)
+	for i, d := range v.schema.defs {
+		val := v.values[i]
+		if val.Missing {
+			continue
+		}
+		switch d.Kind {
+		case Categorical:
+			cats := val.Categories
+			if cats == nil {
+				cats = []string{}
+			}
+			out[d.Name] = jsonValue{Categories: cats}
+		case Numeric:
+			n := val.Num
+			out[d.Name] = jsonValue{Num: &n}
+		case Embedding:
+			out[d.Name] = jsonValue{Vec: val.Vec}
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalVector decodes a vector payload produced by Vector.MarshalJSON
+// against its schema. Unknown feature names are rejected; absent features
+// stay missing; payload shapes are validated against the schema.
+func UnmarshalVector(schema *Schema, data []byte) (*Vector, error) {
+	var raw map[string]jsonValue
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("feature: decode vector: %w", err)
+	}
+	v := NewVector(schema)
+	for name, jv := range raw {
+		i, ok := schema.Index(name)
+		if !ok {
+			return nil, fmt.Errorf("feature: unknown feature %q in payload", name)
+		}
+		d := schema.Def(i)
+		var val Value
+		switch d.Kind {
+		case Categorical:
+			if jv.Num != nil || jv.Vec != nil {
+				return nil, fmt.Errorf("feature: %q wants categories", name)
+			}
+			val = CategoricalValue(jv.Categories...)
+		case Numeric:
+			if jv.Num == nil {
+				return nil, fmt.Errorf("feature: %q wants a number", name)
+			}
+			val = NumericValue(*jv.Num)
+		case Embedding:
+			if jv.Vec == nil {
+				return nil, fmt.Errorf("feature: %q wants a vector", name)
+			}
+			val = EmbeddingValue(jv.Vec)
+		}
+		if err := v.Set(name, val); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}

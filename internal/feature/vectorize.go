@@ -1,0 +1,255 @@
+package feature
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Vocabulary maps the category strings observed for one categorical feature
+// to dense one-hot indices. Categories outside the vocabulary map to a shared
+// out-of-vocabulary slot so that inference-time inputs never change the
+// encoded width.
+type Vocabulary struct {
+	index map[string]int
+	words []string
+}
+
+// NewVocabulary builds a vocabulary from the given categories, deduplicated
+// and sorted for determinism.
+func NewVocabulary(categories []string) *Vocabulary {
+	uniq := make(map[string]bool, len(categories))
+	for _, c := range categories {
+		uniq[c] = true
+	}
+	words := make([]string, 0, len(uniq))
+	for c := range uniq {
+		words = append(words, c)
+	}
+	sort.Strings(words)
+	v := &Vocabulary{index: make(map[string]int, len(words)), words: words}
+	for i, w := range words {
+		v.index[w] = i
+	}
+	return v
+}
+
+// Len returns the number of in-vocabulary categories.
+func (v *Vocabulary) Len() int { return len(v.words) }
+
+// Index returns the slot for category c and whether c is in-vocabulary.
+func (v *Vocabulary) Index(c string) (int, bool) {
+	i, ok := v.index[c]
+	return i, ok
+}
+
+// Words returns the vocabulary contents in slot order.
+func (v *Vocabulary) Words() []string {
+	return append([]string(nil), v.words...)
+}
+
+// numericStats holds standardization parameters for one numeric feature.
+type numericStats struct {
+	mean, std float64
+}
+
+// Vectorizer converts Vectors into dense float64 rows for model training:
+// categorical features one-hot (multi-hot) encode against a fitted
+// vocabulary plus an OOV slot and a missing indicator; numeric features are
+// standardized and paired with a missing indicator; embedding features are
+// copied through. Fit on training data once, then Transform anywhere.
+type Vectorizer struct {
+	schema  *Schema
+	vocabs  map[string]*Vocabulary
+	stats   map[string]numericStats
+	offsets []int
+	width   int
+	maxVoc  int
+}
+
+// VectorizerOption configures FitVectorizer.
+type VectorizerOption func(*Vectorizer)
+
+// WithMaxVocabulary caps each categorical vocabulary at n most-frequent
+// categories (ties broken lexicographically). n <= 0 means unlimited.
+func WithMaxVocabulary(n int) VectorizerOption {
+	return func(v *Vectorizer) { v.maxVoc = n }
+}
+
+// FitVectorizer learns vocabularies and numeric standardization statistics
+// from the training vectors, which must all share schema.
+func FitVectorizer(schema *Schema, train []*Vector, opts ...VectorizerOption) *Vectorizer {
+	vz := &Vectorizer{
+		schema: schema,
+		vocabs: make(map[string]*Vocabulary),
+		stats:  make(map[string]numericStats),
+	}
+	for _, opt := range opts {
+		opt(vz)
+	}
+	for i := 0; i < schema.Len(); i++ {
+		d := schema.Def(i)
+		switch d.Kind {
+		case Categorical:
+			counts := make(map[string]int)
+			for _, v := range train {
+				val := v.Get(d.Name)
+				if val.Missing {
+					continue
+				}
+				for _, c := range val.Categories {
+					counts[c]++
+				}
+			}
+			vz.vocabs[d.Name] = fitVocab(counts, vz.maxVoc)
+		case Numeric:
+			var sum, sumSq float64
+			var n int
+			for _, v := range train {
+				val := v.Get(d.Name)
+				if val.Missing {
+					continue
+				}
+				sum += val.Num
+				sumSq += val.Num * val.Num
+				n++
+			}
+			st := numericStats{mean: 0, std: 1}
+			if n > 0 {
+				st.mean = sum / float64(n)
+				variance := sumSq/float64(n) - st.mean*st.mean
+				if variance > 1e-12 {
+					st.std = math.Sqrt(variance)
+				}
+			}
+			vz.stats[d.Name] = st
+		}
+	}
+	vz.layout()
+	return vz
+}
+
+func fitVocab(counts map[string]int, maxVoc int) *Vocabulary {
+	words := make([]string, 0, len(counts))
+	for c := range counts {
+		words = append(words, c)
+	}
+	sort.Slice(words, func(i, j int) bool {
+		if counts[words[i]] != counts[words[j]] {
+			return counts[words[i]] > counts[words[j]]
+		}
+		return words[i] < words[j]
+	})
+	if maxVoc > 0 && len(words) > maxVoc {
+		words = words[:maxVoc]
+	}
+	return NewVocabulary(words)
+}
+
+// layout computes each feature's offset into the dense row.
+func (vz *Vectorizer) layout() {
+	vz.offsets = make([]int, vz.schema.Len()+1)
+	off := 0
+	for i := 0; i < vz.schema.Len(); i++ {
+		vz.offsets[i] = off
+		d := vz.schema.Def(i)
+		switch d.Kind {
+		case Categorical:
+			// one slot per vocab word + OOV slot + missing indicator
+			off += vz.vocabs[d.Name].Len() + 2
+		case Numeric:
+			// standardized value + missing indicator
+			off += 2
+		case Embedding:
+			// raw vector + missing indicator
+			off += d.Dim + 1
+		}
+	}
+	vz.offsets[vz.schema.Len()] = off
+	vz.width = off
+}
+
+// Width returns the dense row length produced by Transform.
+func (vz *Vectorizer) Width() int { return vz.width }
+
+// Schema returns the schema the vectorizer was fitted on.
+func (vz *Vectorizer) Schema() *Schema { return vz.schema }
+
+// FeatureSpan returns the [start, end) dense-row columns occupied by the
+// named feature, and false if the feature is unknown.
+func (vz *Vectorizer) FeatureSpan(name string) (start, end int, ok bool) {
+	i, found := vz.schema.Index(name)
+	if !found {
+		return 0, 0, false
+	}
+	return vz.offsets[i], vz.offsets[i+1], true
+}
+
+// Transform encodes v (which may carry any schema; features are matched by
+// name) into a dense row of length Width.
+func (vz *Vectorizer) Transform(v *Vector) []float64 {
+	row := make([]float64, vz.width)
+	vz.TransformInto(v, row)
+	return row
+}
+
+// TransformInto encodes v into row, which must have length Width.
+// It panics if the row length is wrong, since that is a programming error.
+func (vz *Vectorizer) TransformInto(v *Vector, row []float64) {
+	if len(row) != vz.width {
+		panic(fmt.Sprintf("feature: TransformInto row length %d, want %d", len(row), vz.width))
+	}
+	for i := range row {
+		row[i] = 0
+	}
+	for i := 0; i < vz.schema.Len(); i++ {
+		d := vz.schema.Def(i)
+		off := vz.offsets[i]
+		val := v.Get(d.Name)
+		switch d.Kind {
+		case Categorical:
+			voc := vz.vocabs[d.Name]
+			if val.Missing {
+				row[off+voc.Len()+1] = 1
+				continue
+			}
+			for _, c := range val.Categories {
+				if slot, ok := voc.Index(c); ok {
+					row[off+slot] = 1
+				} else {
+					row[off+voc.Len()] = 1 // OOV
+				}
+			}
+		case Numeric:
+			if val.Missing {
+				row[off+1] = 1
+				continue
+			}
+			st := vz.stats[d.Name]
+			row[off] = (val.Num - st.mean) / st.std
+		case Embedding:
+			if val.Missing || len(val.Vec) != d.Dim {
+				row[off+d.Dim] = 1
+				continue
+			}
+			copy(row[off:off+d.Dim], val.Vec)
+		}
+	}
+}
+
+// TransformAll encodes a batch of vectors into a row-major matrix.
+func (vz *Vectorizer) TransformAll(vectors []*Vector) [][]float64 {
+	rows := make([][]float64, len(vectors))
+	flat := make([]float64, len(vectors)*vz.width)
+	for i, v := range vectors {
+		rows[i] = flat[i*vz.width : (i+1)*vz.width]
+		vz.TransformInto(v, rows[i])
+	}
+	return rows
+}
+
+// Vocabulary returns the fitted vocabulary of the named categorical feature,
+// or nil if the feature is unknown or not categorical.
+func (vz *Vectorizer) Vocabulary(name string) *Vocabulary {
+	return vz.vocabs[name]
+}

@@ -1,0 +1,207 @@
+// Package featurestore implements the precomputed-feature cache the paper's
+// production setting assumes (§2.3, §6.2: "services we use are pre-computed
+// for each data point as the generated features assist teams across the
+// organization", under per-team storage budgets). The store memoizes
+// featurization results under a capacity bound with LRU eviction, and can
+// persist its contents as JSON lines for reuse across processes.
+package featurestore
+
+import (
+	"bufio"
+	"container/list"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"crossmodal/internal/feature"
+	"crossmodal/internal/mapreduce"
+	"crossmodal/internal/resource"
+	"crossmodal/internal/synth"
+)
+
+// Store is a bounded, concurrency-safe cache of featurized data points in
+// front of a resource library. The zero value is not usable; call New.
+type Store struct {
+	lib      *resource.Library
+	capacity int
+
+	mu      sync.Mutex
+	entries map[int]*list.Element // point ID → LRU element
+	lru     *list.List            // front = most recent
+	hits    int
+	misses  int
+	evicted int
+}
+
+// cacheEntry is one LRU slot.
+type cacheEntry struct {
+	id  int
+	vec *feature.Vector
+}
+
+// New builds a store over lib holding at most capacity vectors (capacity <=
+// 0 means unbounded).
+func New(lib *resource.Library, capacity int) (*Store, error) {
+	if lib == nil {
+		return nil, fmt.Errorf("featurestore: nil library")
+	}
+	return &Store{
+		lib:      lib,
+		capacity: capacity,
+		entries:  make(map[int]*list.Element),
+		lru:      list.New(),
+	}, nil
+}
+
+// Library returns the wrapped resource library.
+func (s *Store) Library() *resource.Library { return s.lib }
+
+// Len returns the number of cached vectors.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Stats reports cache effectiveness counters.
+func (s *Store) Stats() (hits, misses, evicted int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses, s.evicted
+}
+
+// lookup returns the cached vector for a point ID, updating recency.
+func (s *Store) lookup(id int) (*feature.Vector, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[id]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	s.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).vec, true
+}
+
+// insert stores a vector under a point ID, evicting the least recently used
+// entry when over capacity.
+func (s *Store) insert(id int, vec *feature.Vector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[id]; ok {
+		el.Value.(*cacheEntry).vec = vec
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.entries[id] = s.lru.PushFront(&cacheEntry{id: id, vec: vec})
+	if s.capacity > 0 && s.lru.Len() > s.capacity {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.entries, oldest.Value.(*cacheEntry).id)
+		s.evicted++
+	}
+}
+
+// Featurize returns feature vectors for pts, computing only cache misses
+// (in parallel) and memoizing them. Point IDs key the cache, so IDs must be
+// unique across everything featurized through one store — true for points
+// sampled from one synth.Dataset.
+func (s *Store) Featurize(ctx context.Context, cfg mapreduce.Config, pts []*synth.Point) ([]*feature.Vector, error) {
+	out := make([]*feature.Vector, len(pts))
+	var missing []*synth.Point
+	var missingIdx []int
+	for i, p := range pts {
+		if vec, ok := s.lookup(p.ID); ok {
+			out[i] = vec
+		} else {
+			missing = append(missing, p)
+			missingIdx = append(missingIdx, i)
+		}
+	}
+	if len(missing) > 0 {
+		computed, err := s.lib.Featurize(ctx, cfg, missing)
+		if err != nil {
+			return nil, err
+		}
+		for j, vec := range computed {
+			out[missingIdx[j]] = vec
+			s.insert(missing[j].ID, vec)
+		}
+	}
+	return out, nil
+}
+
+// persistedRow is the JSONL wire form of one cached vector.
+type persistedRow struct {
+	ID  int             `json:"id"`
+	Vec json.RawMessage `json:"vec"`
+}
+
+// Save writes the cache contents as JSON lines, most recently used first.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		entry := el.Value.(*cacheEntry)
+		vecJSON, err := json.Marshal(entry.vec)
+		if err != nil {
+			return fmt.Errorf("featurestore: encode point %d: %w", entry.id, err)
+		}
+		if err := enc.Encode(persistedRow{ID: entry.id, Vec: vecJSON}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load fills the cache from JSON lines previously written by Save. Existing
+// entries with the same IDs are overwritten; capacity eviction applies.
+func (s *Store) Load(r io.Reader) error {
+	schema := s.lib.Schema()
+	dec := json.NewDecoder(bufio.NewReader(r))
+	n := 0
+	for {
+		var row persistedRow
+		if err := dec.Decode(&row); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("featurestore: decode row %d: %w", n, err)
+		}
+		vec, err := feature.UnmarshalVector(schema, row.Vec)
+		if err != nil {
+			return fmt.Errorf("featurestore: decode vector %d: %w", row.ID, err)
+		}
+		s.insert(row.ID, vec)
+		n++
+	}
+}
+
+// SaveFile persists the cache to path.
+func (s *Store) SaveFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return s.Save(f)
+}
+
+// LoadFile fills the cache from path.
+func (s *Store) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Load(f)
+}

@@ -1,0 +1,242 @@
+package featurestore
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"crossmodal/internal/mapreduce"
+	"crossmodal/internal/resource"
+	"crossmodal/internal/synth"
+)
+
+var (
+	envOnce sync.Once
+	envLib  *resource.Library
+	envPts  []*synth.Point
+	envErr  error
+)
+
+func env(t *testing.T) (*resource.Library, []*synth.Point) {
+	t.Helper()
+	envOnce.Do(func() {
+		world := synth.MustWorld(synth.DefaultConfig())
+		envLib, envErr = resource.StandardLibrary(world)
+		if envErr != nil {
+			return
+		}
+		task, err := synth.TaskByName("CT1")
+		if err != nil {
+			envErr = err
+			return
+		}
+		ds, err := synth.BuildDataset(world, task, synth.DatasetConfig{
+			Seed: 3, NumText: 200, NumUnlabeledImage: 100, NumHandLabelPool: 1, NumTest: 1,
+		})
+		if err != nil {
+			envErr = err
+			return
+		}
+		envPts = append(ds.LabeledText, ds.UnlabeledImage...)
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envLib, envPts
+}
+
+func TestFeaturizeCachesAndMatchesLibrary(t *testing.T) {
+	lib, pts := env(t)
+	store, err := New(lib, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cfg := mapreduce.Config{Workers: 4}
+	first, err := store.Featurize(ctx, cfg, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ := store.Stats()
+	if hits != 0 || misses != len(pts) {
+		t.Errorf("cold pass: hits=%d misses=%d", hits, misses)
+	}
+	second, err := store.Featurize(ctx, cfg, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, _, _ = store.Stats()
+	if hits != len(pts) {
+		t.Errorf("warm pass hits = %d, want %d", hits, len(pts))
+	}
+	for i := range pts {
+		if first[i] != second[i] {
+			t.Fatal("warm pass returned a different vector instance")
+		}
+		want := lib.FeaturizePoint(pts[i]).String()
+		if first[i].String() != want {
+			t.Fatalf("cached vector differs from direct featurization for point %d", pts[i].ID)
+		}
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	lib, pts := env(t)
+	store, err := New(lib, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := store.Featurize(ctx, mapreduce.Config{}, pts); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 50 {
+		t.Errorf("cache size = %d, want capacity 50", store.Len())
+	}
+	_, _, evicted := store.Stats()
+	if evicted != len(pts)-50 {
+		t.Errorf("evicted = %d, want %d", evicted, len(pts)-50)
+	}
+}
+
+func TestLRUOrdering(t *testing.T) {
+	lib, pts := env(t)
+	store, err := New(lib, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cfg := mapreduce.Config{}
+	a, b, c := pts[0:1], pts[1:2], pts[2:3]
+	mustFeaturize(t, store, ctx, cfg, a) // cache: [a]
+	mustFeaturize(t, store, ctx, cfg, b) // cache: [b a]
+	mustFeaturize(t, store, ctx, cfg, a) // cache: [a b]
+	mustFeaturize(t, store, ctx, cfg, c) // evicts b
+	hitsBefore, _, _ := store.Stats()
+	mustFeaturize(t, store, ctx, cfg, a)
+	hitsAfter, _, _ := store.Stats()
+	if hitsAfter != hitsBefore+1 {
+		t.Error("a should still be cached (was most recently used)")
+	}
+	_, missesBefore, _ := store.Stats()
+	mustFeaturize(t, store, ctx, cfg, b)
+	_, missesAfter, _ := store.Stats()
+	if missesAfter != missesBefore+1 {
+		t.Error("b should have been evicted")
+	}
+}
+
+func mustFeaturize(t *testing.T, s *Store, ctx context.Context, cfg mapreduce.Config, pts []*synth.Point) {
+	t.Helper()
+	if _, err := s.Featurize(ctx, cfg, pts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	lib, pts := env(t)
+	store, err := New(lib, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	orig, err := store.Featurize(ctx, mapreduce.Config{}, pts[:40])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := store.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := New(lib, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 40 {
+		t.Fatalf("restored %d entries, want 40", restored.Len())
+	}
+	warm, err := restored.Featurize(ctx, mapreduce.Config{}, pts[:40])
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ := restored.Stats()
+	if hits != 40 || misses != 0 {
+		t.Errorf("restored store should serve from cache: hits=%d misses=%d", hits, misses)
+	}
+	for i := range warm {
+		if warm[i].String() != orig[i].String() {
+			t.Fatalf("restored vector %d differs", i)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	lib, pts := env(t)
+	store, _ := New(lib, 0)
+	ctx := context.Background()
+	if _, err := store.Featurize(ctx, mapreduce.Config{}, pts[:10]); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	if err := store.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, _ := New(lib, 0)
+	if err := restored.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 10 {
+		t.Errorf("restored %d, want 10", restored.Len())
+	}
+	if err := restored.LoadFile(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	lib, _ := env(t)
+	store, _ := New(lib, 0)
+	if err := store.Load(bytes.NewBufferString("not json\n")); err == nil {
+		t.Error("expected decode error")
+	}
+	if err := store.Load(bytes.NewBufferString(`{"id":1,"vec":{"bogus":{"num":1}}}` + "\n")); err == nil {
+		t.Error("expected unknown-feature error")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Error("expected error for nil library")
+	}
+}
+
+func TestConcurrentFeaturize(t *testing.T) {
+	lib, pts := env(t)
+	store, _ := New(lib, 100)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			slice := pts[(g*17)%len(pts):]
+			if len(slice) > 60 {
+				slice = slice[:60]
+			}
+			if _, err := store.Featurize(ctx, mapreduce.Config{Workers: 2}, slice); err != nil {
+				errs <- err
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,287 @@
+// Package fusion implements the three cross-modal model-training
+// architectures the paper evaluates (§5, Figure 4): early fusion (merge all
+// modalities' features into one dataset), intermediate fusion (concatenate
+// independently learned per-modality embeddings into a final jointly trained
+// model), and DeViSE (project the new modality into an embedding learned on
+// existing modalities and reuse the frozen old-modality prediction head).
+package fusion
+
+import (
+	"fmt"
+
+	"crossmodal/internal/feature"
+	"crossmodal/internal/model"
+)
+
+// Corpus is one training data source: vectors of a single data modality with
+// probabilistic targets (hard labels are 0/1) and optional per-example
+// weights.
+type Corpus struct {
+	Name    string
+	Vectors []*feature.Vector
+	Targets []float64
+	Weights []float64
+}
+
+func (c Corpus) validate() error {
+	if len(c.Vectors) == 0 {
+		return fmt.Errorf("fusion: corpus %q is empty", c.Name)
+	}
+	if len(c.Targets) != len(c.Vectors) {
+		return fmt.Errorf("fusion: corpus %q has %d vectors vs %d targets", c.Name, len(c.Vectors), len(c.Targets))
+	}
+	if c.Weights != nil && len(c.Weights) != len(c.Vectors) {
+		return fmt.Errorf("fusion: corpus %q has %d vectors vs %d weights", c.Name, len(c.Vectors), len(c.Weights))
+	}
+	return nil
+}
+
+// Config controls fusion training.
+type Config struct {
+	// Schema is the end-model feature space — typically the servable
+	// subset of the common feature space (nonservable features may feed
+	// LFs but never the discriminative model, paper §4.1).
+	Schema *feature.Schema
+	// Model configures the underlying networks.
+	Model model.Config
+	// MaxVocab caps one-hot vocabularies (0 = unlimited).
+	MaxVocab int
+}
+
+func (c Config) validate() error {
+	if c.Schema == nil || c.Schema.Len() == 0 {
+		return fmt.Errorf("fusion: empty schema")
+	}
+	return nil
+}
+
+// Predictor scores feature vectors with P(y = +1).
+type Predictor interface {
+	Predict(v *feature.Vector) float64
+	PredictBatch(vs []*feature.Vector) []float64
+}
+
+// reproject maps corpus vectors onto the end-model schema.
+func reproject(schema *feature.Schema, vecs []*feature.Vector) []*feature.Vector {
+	out := make([]*feature.Vector, len(vecs))
+	for i, v := range vecs {
+		out[i] = v.Reproject(schema)
+	}
+	return out
+}
+
+// pooled merges all corpora (already reprojected) into single slices.
+func pooled(schema *feature.Schema, corpora []Corpus) (vecs []*feature.Vector, targets, weights []float64) {
+	hasWeights := false
+	for _, c := range corpora {
+		if c.Weights != nil {
+			hasWeights = true
+		}
+	}
+	for _, c := range corpora {
+		vecs = append(vecs, reproject(schema, c.Vectors)...)
+		targets = append(targets, c.Targets...)
+		if hasWeights {
+			if c.Weights != nil {
+				weights = append(weights, c.Weights...)
+			} else {
+				for range c.Vectors {
+					weights = append(weights, 1)
+				}
+			}
+		}
+	}
+	return vecs, targets, weights
+}
+
+// EarlyModel is the early-fusion predictor: one vectorizer and one network
+// over the merged multi-modality dataset. Modality-specific features are
+// simply missing (and flagged so) for the other modalities.
+type EarlyModel struct {
+	vz  *feature.Vectorizer
+	net *model.MLP
+}
+
+// TrainEarly fits the early-fusion model on all corpora.
+func TrainEarly(corpora []Corpus, cfg Config) (*EarlyModel, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(corpora) == 0 {
+		return nil, fmt.Errorf("fusion: no corpora")
+	}
+	for _, c := range corpora {
+		if err := c.validate(); err != nil {
+			return nil, err
+		}
+	}
+	vecs, targets, weights := pooled(cfg.Schema, corpora)
+	vz := feature.FitVectorizer(cfg.Schema, vecs, feature.WithMaxVocabulary(cfg.MaxVocab))
+	net, err := model.Train(vz.TransformAll(vecs), targets, weights, cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	return &EarlyModel{vz: vz, net: net}, nil
+}
+
+// Predict implements Predictor.
+func (m *EarlyModel) Predict(v *feature.Vector) float64 {
+	return m.net.PredictProba(m.vz.Transform(v))
+}
+
+// PredictBatch implements Predictor.
+func (m *EarlyModel) PredictBatch(vs []*feature.Vector) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = m.Predict(v)
+	}
+	return out
+}
+
+// Hidden returns the activation feeding the model's prediction layer; the
+// DeViSE architecture anchors its projection on this.
+func (m *EarlyModel) Hidden(v *feature.Vector) []float64 {
+	return m.net.HiddenActivation(m.vz.Transform(v))
+}
+
+// PredictFromHidden applies only the frozen prediction head.
+func (m *EarlyModel) PredictFromHidden(h []float64) float64 {
+	return m.net.PredictFromHidden(h)
+}
+
+// IntermediateModel is the intermediate-fusion predictor: one network per
+// modality trained independently, their pre-prediction activations
+// concatenated into a final jointly trained network (paper §5: a second
+// pass over all data where shared features enter every per-modality model).
+type IntermediateModel struct {
+	vz    *feature.Vectorizer
+	parts []*model.MLP
+	final *model.MLP
+}
+
+// TrainIntermediate fits the two-stage intermediate-fusion model.
+func TrainIntermediate(corpora []Corpus, cfg Config) (*IntermediateModel, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(corpora) == 0 {
+		return nil, fmt.Errorf("fusion: no corpora")
+	}
+	for _, c := range corpora {
+		if err := c.validate(); err != nil {
+			return nil, err
+		}
+	}
+	allVecs, allTargets, allWeights := pooled(cfg.Schema, corpora)
+	vz := feature.FitVectorizer(cfg.Schema, allVecs, feature.WithMaxVocabulary(cfg.MaxVocab))
+
+	// Stage 1: independent per-modality models.
+	m := &IntermediateModel{vz: vz}
+	seed := cfg.Model.Seed
+	for ci, c := range corpora {
+		rows := vz.TransformAll(reproject(cfg.Schema, c.Vectors))
+		mcfg := cfg.Model
+		mcfg.Seed = seed + int64(ci)*101
+		net, err := model.Train(rows, c.Targets, c.Weights, mcfg)
+		if err != nil {
+			return nil, fmt.Errorf("fusion: modality %q: %w", c.Name, err)
+		}
+		m.parts = append(m.parts, net)
+	}
+
+	// Stage 2: final model over concatenated embeddings of every point.
+	concat := make([][]float64, len(allVecs))
+	for i, v := range allVecs {
+		concat[i] = m.embed(v)
+	}
+	mcfg := cfg.Model
+	mcfg.Seed = seed + 7919
+	final, err := model.Train(concat, allTargets, allWeights, mcfg)
+	if err != nil {
+		return nil, err
+	}
+	m.final = final
+	return m, nil
+}
+
+// embed concatenates every per-modality model's hidden activation for v.
+func (m *IntermediateModel) embed(v *feature.Vector) []float64 {
+	row := m.vz.Transform(v)
+	var out []float64
+	for _, part := range m.parts {
+		out = append(out, part.HiddenActivation(row)...)
+	}
+	return out
+}
+
+// Predict implements Predictor.
+func (m *IntermediateModel) Predict(v *feature.Vector) float64 {
+	return m.final.PredictProba(m.embed(v.Reproject(m.vz.Schema())))
+}
+
+// PredictBatch implements Predictor.
+func (m *IntermediateModel) PredictBatch(vs []*feature.Vector) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = m.Predict(v)
+	}
+	return out
+}
+
+// DeViSEModel adapts the DeViSE architecture to the cross-modal setting
+// (paper §5): model A is trained on existing modalities and frozen; model B
+// is pre-trained on the weakly supervised new modality; a linear projection
+// P maps B's embedding onto A's; at inference a new-modality point flows
+// through B, then P, then A's frozen prediction layer.
+type DeViSEModel struct {
+	a    *EarlyModel
+	b    *EarlyModel
+	proj *model.Projection
+}
+
+// TrainDeViSE fits the three-stage DeViSE pipeline. oldCorpora are the
+// existing (labeled) modalities; newCorpus is the weakly supervised new
+// modality.
+func TrainDeViSE(oldCorpora []Corpus, newCorpus Corpus, cfg Config) (*DeViSEModel, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	a, err := TrainEarly(oldCorpora, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fusion: devise model A: %w", err)
+	}
+	bcfg := cfg
+	bcfg.Model.Seed = cfg.Model.Seed + 31
+	b, err := TrainEarly([]Corpus{newCorpus}, bcfg)
+	if err != nil {
+		return nil, fmt.Errorf("fusion: devise model B: %w", err)
+	}
+	// Train P to match B's embedding (Y) to frozen A's embedding (X) over
+	// the new-modality corpus, whose shared features exist in both.
+	src := make([][]float64, len(newCorpus.Vectors))
+	dst := make([][]float64, len(newCorpus.Vectors))
+	for i, v := range newCorpus.Vectors {
+		pv := v.Reproject(cfg.Schema)
+		src[i] = b.Hidden(pv)
+		dst[i] = a.Hidden(pv)
+	}
+	proj, err := model.FitProjection(src, dst, 25, 0.02, cfg.Model.Seed+63)
+	if err != nil {
+		return nil, fmt.Errorf("fusion: devise projection: %w", err)
+	}
+	return &DeViSEModel{a: a, b: b, proj: proj}, nil
+}
+
+// Predict implements Predictor: B embeds, P projects, frozen A scores.
+func (m *DeViSEModel) Predict(v *feature.Vector) float64 {
+	return m.a.PredictFromHidden(m.proj.Apply(m.b.Hidden(v)))
+}
+
+// PredictBatch implements Predictor.
+func (m *DeViSEModel) PredictBatch(vs []*feature.Vector) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = m.Predict(v)
+	}
+	return out
+}

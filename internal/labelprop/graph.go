@@ -1,0 +1,213 @@
+// Package labelprop implements label propagation (Zhu & Ghahramani) over a
+// similarity graph induced by the common feature space — the paper's
+// mechanism for finding borderline positive and negative examples that
+// itemset-mined LFs miss (§4.4), standing in for Google's Expander platform.
+//
+// Vertices are data points of all modalities; edge weights follow paper
+// Algorithm 1 (Jaccard similarity on categorical features, normalized
+// distance on numeric features, extended with cosine similarity on
+// embeddings, which exist only for the new modality but are exactly the
+// "features that are difficult to construct LFs with" the paper feeds the
+// graph). Labels of old-modality points propagate along edges until
+// convergence; the converged score becomes a threshold LF and a nonservable
+// feature.
+package labelprop
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"crossmodal/internal/feature"
+	"crossmodal/internal/mapreduce"
+)
+
+// GraphConfig controls kNN graph construction.
+type GraphConfig struct {
+	// K is the number of neighbors kept per vertex (default 10).
+	K int
+	// BlockFeatures names the categorical features used to block candidate
+	// generation: only pairs sharing at least one category on a blocking
+	// feature are scored, which keeps construction far below O(n²).
+	// Empty means exact all-pairs construction (small inputs only).
+	BlockFeatures []string
+	// MaxCandidates caps the number of scored candidates per vertex when
+	// blocking (default 300); candidates beyond the cap are sampled
+	// deterministically from Seed.
+	MaxCandidates int
+	// MinWeight drops edges with weight below it (default 0.05).
+	MinWeight float64
+	// Weights are optional per-feature importance multipliers for edge
+	// similarity (see FitFeatureWeights); nil means uniform.
+	Weights feature.Weights
+	// Seed drives candidate sampling.
+	Seed int64
+	// Workers parallelizes per-vertex neighbor search.
+	Workers int
+}
+
+func (c GraphConfig) withDefaults() GraphConfig {
+	if c.K <= 0 {
+		c.K = 10
+	}
+	if c.MaxCandidates <= 0 {
+		c.MaxCandidates = 300
+	}
+	if c.MinWeight <= 0 {
+		c.MinWeight = 0.05
+	}
+	return c
+}
+
+// Edge is one weighted neighbor link.
+type Edge struct {
+	To     int
+	Weight float64
+}
+
+// Graph is a symmetric weighted kNN graph over data points.
+type Graph struct {
+	adj [][]Edge
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// Neighbors returns vertex i's adjacency list (shared slice; do not modify).
+func (g *Graph) Neighbors(i int) []Edge { return g.adj[i] }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, es := range g.adj {
+		total += len(es)
+	}
+	return total / 2
+}
+
+// BuildGraph constructs the similarity graph over vecs. All vectors must
+// share one schema. Scales should be fitted on the same corpus
+// (feature.FitScales) so numeric similarities are calibrated.
+func BuildGraph(ctx context.Context, cfg GraphConfig, vecs []*feature.Vector, scales feature.Scales) (*Graph, error) {
+	cfg = cfg.withDefaults()
+	n := len(vecs)
+	if n == 0 {
+		return nil, fmt.Errorf("labelprop: no vertices")
+	}
+
+	// Candidate sets per vertex: blocked by shared categorical values, or
+	// all-pairs when no blocking features are configured.
+	var candidatesFor func(i int, rng *rand.Rand) []int
+	if len(cfg.BlockFeatures) == 0 {
+		candidatesFor = func(i int, _ *rand.Rand) []int {
+			out := make([]int, 0, n-1)
+			for j := 0; j < n; j++ {
+				if j != i {
+					out = append(out, j)
+				}
+			}
+			return out
+		}
+	} else {
+		index := buildBlockIndex(vecs, cfg.BlockFeatures)
+		candidatesFor = func(i int, rng *rand.Rand) []int {
+			seen := map[int]bool{}
+			var out []int
+			for _, key := range blockKeys(vecs[i], cfg.BlockFeatures) {
+				for _, j := range index[key] {
+					if j != i && !seen[j] {
+						seen[j] = true
+						out = append(out, j)
+					}
+				}
+			}
+			if len(out) > cfg.MaxCandidates {
+				rng.Shuffle(len(out), func(a, b int) { out[a], out[b] = out[b], out[a] })
+				out = out[:cfg.MaxCandidates]
+				sort.Ints(out)
+			}
+			return out
+		}
+	}
+
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	directed, err := mapreduce.Map(ctx, mapreduce.Config{Workers: cfg.Workers}, ids, func(i int) ([]Edge, error) {
+		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(i)*0x9e3779b9))
+		var edges []Edge
+		for _, j := range candidatesFor(i, rng) {
+			w := feature.WeightedSimilarity(vecs[i], vecs[j], scales, cfg.Weights)
+			if w >= cfg.MinWeight {
+				edges = append(edges, Edge{To: j, Weight: w})
+			}
+		}
+		sort.Slice(edges, func(a, b int) bool {
+			if edges[a].Weight != edges[b].Weight {
+				return edges[a].Weight > edges[b].Weight
+			}
+			return edges[a].To < edges[b].To
+		})
+		if len(edges) > cfg.K {
+			edges = edges[:cfg.K]
+		}
+		return edges, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Symmetrize: keep an edge if either endpoint selected it.
+	adj := make([][]Edge, n)
+	type key struct{ a, b int }
+	seen := make(map[key]bool)
+	add := func(a, b int, w float64) {
+		k := key{a, b}
+		if a > b {
+			k = key{b, a}
+		}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		adj[a] = append(adj[a], Edge{To: b, Weight: w})
+		adj[b] = append(adj[b], Edge{To: a, Weight: w})
+	}
+	for i, edges := range directed {
+		for _, e := range edges {
+			add(i, e.To, e.Weight)
+		}
+	}
+	for i := range adj {
+		es := adj[i]
+		sort.Slice(es, func(a, b int) bool { return es[a].To < es[b].To })
+	}
+	return &Graph{adj: adj}, nil
+}
+
+// buildBlockIndex maps "feat=cat" keys to the vertices carrying them.
+func buildBlockIndex(vecs []*feature.Vector, feats []string) map[string][]int {
+	index := make(map[string][]int)
+	for i, v := range vecs {
+		for _, key := range blockKeys(v, feats) {
+			index[key] = append(index[key], i)
+		}
+	}
+	return index
+}
+
+func blockKeys(v *feature.Vector, feats []string) []string {
+	var keys []string
+	for _, f := range feats {
+		val := v.Get(f)
+		if val.Missing {
+			continue
+		}
+		for _, c := range val.Categories {
+			keys = append(keys, f+"="+c)
+		}
+	}
+	return keys
+}

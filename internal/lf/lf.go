@@ -1,0 +1,254 @@
+// Package lf defines labeling functions (LFs): programmatic, noisy labelers
+// that vote positive, negative, or abstain on a data point's common-feature
+// representation (paper §4.1). LFs are the unit of weak supervision; they
+// are evaluated against a labeled development set of the *old* modality and
+// applied at scale to the unlabeled new modality.
+package lf
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"crossmodal/internal/feature"
+	"crossmodal/internal/mapreduce"
+)
+
+// Vote values returned by labeling functions.
+const (
+	Positive int8 = 1
+	Negative int8 = -1
+	Abstain  int8 = 0
+)
+
+// LF is one labeling function. Func must be safe for concurrent use.
+type LF struct {
+	// Name uniquely identifies the LF in reports.
+	Name string
+	// Source records how the LF was created: "mined", "expert",
+	// "labelprop", or "manual".
+	Source string
+	// Func votes on a feature vector.
+	Func func(*feature.Vector) int8
+}
+
+// Apply returns the LF's vote on v.
+func (l *LF) Apply(v *feature.Vector) int8 { return l.Func(v) }
+
+// String returns the LF's name and source.
+func (l *LF) String() string { return fmt.Sprintf("%s(%s)", l.Name, l.Source) }
+
+// CategoryLF votes vote when the named categorical feature contains
+// category, and abstains otherwise (including when the feature is missing).
+func CategoryLF(featName, category string, vote int8, source string) *LF {
+	return &LF{
+		Name:   fmt.Sprintf("%s=%s→%+d", featName, category, vote),
+		Source: source,
+		Func: func(v *feature.Vector) int8 {
+			if v.Get(featName).HasCategory(category) {
+				return vote
+			}
+			return Abstain
+		},
+	}
+}
+
+// ConjunctionLF votes vote when every (feature, category) predicate holds,
+// and abstains otherwise. Predicates are given as "feat=cat" terms.
+func ConjunctionLF(terms []string, vote int8, source string) (*LF, error) {
+	type pred struct{ feat, cat string }
+	preds := make([]pred, len(terms))
+	for i, t := range terms {
+		parts := strings.SplitN(t, "=", 2)
+		if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+			return nil, fmt.Errorf("lf: bad conjunction term %q (want feat=cat)", t)
+		}
+		preds[i] = pred{parts[0], parts[1]}
+	}
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("lf: empty conjunction")
+	}
+	return &LF{
+		Name:   fmt.Sprintf("%s→%+d", strings.Join(terms, "∧"), vote),
+		Source: source,
+		Func: func(v *feature.Vector) int8 {
+			for _, p := range preds {
+				if !v.Get(p.feat).HasCategory(p.cat) {
+					return Abstain
+				}
+			}
+			return vote
+		},
+	}, nil
+}
+
+// ThresholdLF votes vote when the named numeric feature is present and
+// satisfies the comparison (above: value >= cut; otherwise value <= cut).
+func ThresholdLF(featName string, cut float64, above bool, vote int8, source string) *LF {
+	op := "≥"
+	if !above {
+		op = "≤"
+	}
+	return &LF{
+		Name:   fmt.Sprintf("%s%s%.3g→%+d", featName, op, cut, vote),
+		Source: source,
+		Func: func(v *feature.Vector) int8 {
+			val := v.Get(featName)
+			if val.Missing {
+				return Abstain
+			}
+			if (above && val.Num >= cut) || (!above && val.Num <= cut) {
+				return vote
+			}
+			return Abstain
+		},
+	}
+}
+
+// ScoreLF votes using an externally computed per-point score (e.g. the
+// label-propagation output, paper §4.4): score >= posCut votes positive,
+// score <= negCut votes negative, otherwise abstain. scores is indexed by
+// the same corpus order the LF will be applied in, carried via index.
+type ScoreLF struct {
+	Name    string
+	Source  string
+	Scores  []float64
+	PosCut  float64
+	NegCut  float64
+	Present []bool // nil means every score is present
+}
+
+// VoteAt returns the score LF's vote for corpus position i.
+func (s *ScoreLF) VoteAt(i int) int8 {
+	if i < 0 || i >= len(s.Scores) {
+		return Abstain
+	}
+	if s.Present != nil && !s.Present[i] {
+		return Abstain
+	}
+	switch {
+	case s.Scores[i] >= s.PosCut:
+		return Positive
+	case s.Scores[i] <= s.NegCut:
+		return Negative
+	default:
+		return Abstain
+	}
+}
+
+// Matrix is the n×m label matrix of m LF votes on n data points.
+type Matrix struct {
+	Votes [][]int8 // Votes[i][j] is LF j's vote on point i
+	Names []string
+}
+
+// NumPoints returns n.
+func (m *Matrix) NumPoints() int { return len(m.Votes) }
+
+// NumLFs returns the number of labeling functions.
+func (m *Matrix) NumLFs() int { return len(m.Names) }
+
+// Column extracts LF j's votes over all points.
+func (m *Matrix) Column(j int) []int8 {
+	out := make([]int8, len(m.Votes))
+	for i, row := range m.Votes {
+		out[i] = row[j]
+	}
+	return out
+}
+
+// AppendScoreLF adds a score-based LF column to the matrix. The score LF
+// must cover exactly the matrix's points.
+func (m *Matrix) AppendScoreLF(s *ScoreLF) error {
+	if len(s.Scores) != m.NumPoints() {
+		return fmt.Errorf("lf: score LF covers %d points, matrix has %d", len(s.Scores), m.NumPoints())
+	}
+	for i := range m.Votes {
+		m.Votes[i] = append(m.Votes[i], s.VoteAt(i))
+	}
+	m.Names = append(m.Names, s.Name)
+	return nil
+}
+
+// Apply evaluates every LF on every vector in parallel (the paper applies
+// LFs as a MapReduce job) and returns the label matrix.
+func Apply(ctx context.Context, cfg mapreduce.Config, lfs []*LF, vecs []*feature.Vector) (*Matrix, error) {
+	rows, err := mapreduce.Map(ctx, cfg, vecs, func(v *feature.Vector) ([]int8, error) {
+		row := make([]int8, len(lfs))
+		for j, l := range lfs {
+			row[j] = l.Apply(v)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(lfs))
+	for j, l := range lfs {
+		names[j] = l.Name
+	}
+	return &Matrix{Votes: rows, Names: names}, nil
+}
+
+// Stats summarizes one LF's behaviour on a labeled development set.
+type Stats struct {
+	Name      string
+	Precision float64 // correct votes / non-abstain votes
+	Recall    float64 // correct positive votes / positives (for positive LFs); symmetric for negative LFs
+	Coverage  float64 // non-abstain votes / points
+	Votes     int
+}
+
+// EvaluateColumn computes Stats for one vote column against dev labels.
+// Precision counts votes matching the label; recall is class-conditional on
+// the voted class (a positive LF's recall is over true positives, a negative
+// LF's over true negatives; mixed-vote columns report recall over all points
+// whose label matches some vote).
+func EvaluateColumn(name string, votes, labels []int8) Stats {
+	if len(votes) != len(labels) {
+		panic(fmt.Sprintf("lf: %d votes vs %d labels", len(votes), len(labels)))
+	}
+	var correct, voted int
+	classTotals := map[int8]int{}
+	classCorrect := map[int8]int{}
+	votesClass := map[int8]bool{}
+	for i, v := range votes {
+		if labels[i] != 0 {
+			classTotals[labels[i]]++
+		}
+		if v == 0 {
+			continue
+		}
+		voted++
+		votesClass[v] = true
+		if v == labels[i] {
+			correct++
+			classCorrect[v]++
+		}
+	}
+	s := Stats{Name: name, Votes: voted}
+	if voted > 0 {
+		s.Precision = float64(correct) / float64(voted)
+	}
+	var recallDenom, recallNum int
+	for class := range votesClass {
+		recallDenom += classTotals[class]
+		recallNum += classCorrect[class]
+	}
+	if recallDenom > 0 {
+		s.Recall = float64(recallNum) / float64(recallDenom)
+	}
+	if len(votes) > 0 {
+		s.Coverage = float64(voted) / float64(len(votes))
+	}
+	return s
+}
+
+// EvaluateAll computes Stats for every LF column in the matrix.
+func EvaluateAll(m *Matrix, labels []int8) []Stats {
+	out := make([]Stats, m.NumLFs())
+	for j := range out {
+		out[j] = EvaluateColumn(m.Names[j], m.Column(j), labels)
+	}
+	return out
+}

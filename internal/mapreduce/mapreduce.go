@@ -1,0 +1,196 @@
+// Package mapreduce is a small in-process map / combine / reduce engine.
+//
+// The paper implements feature generation and labeling-function application
+// "using our MapReduce framework" (§6.3); this package provides the same
+// programming model on a single machine, sharding work across goroutine
+// workers. It is used by feature generation (map each data point through the
+// organizational-resource library), LF application (map each point through
+// every LF), and itemset counting (map to (itemset, count), reduce by sum).
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Config controls job execution.
+type Config struct {
+	// Workers is the number of parallel mapper goroutines.
+	// Zero or negative means GOMAXPROCS.
+	Workers int
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map applies fn to every input in parallel and returns the outputs in input
+// order. It stops at the first error (remaining work may still run to
+// completion) and returns it. A nil context is treated as
+// context.Background().
+func Map[In, Out any](ctx context.Context, cfg Config, inputs []In, fn func(In) (Out, error)) ([]Out, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	outputs := make([]Out, len(inputs))
+	workers := cfg.workers()
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	if workers <= 1 {
+		for i, in := range inputs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			out, err := fn(in)
+			if err != nil {
+				return nil, fmt.Errorf("mapreduce: map input %d: %w", i, err)
+			}
+			outputs[i] = out
+		}
+		return outputs, nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out, err := fn(inputs[i])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("mapreduce: map input %d: %w", i, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				outputs[i] = out
+			}
+		}()
+	}
+feed:
+	for i := range inputs {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return outputs, nil
+}
+
+// KV is one intermediate key/value pair emitted by a MapReduce mapper.
+type KV[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// Run executes a full map/shuffle/reduce job: mapFn turns each input into
+// zero or more key/value pairs; pairs are grouped by key; reduceFn folds each
+// group. The result maps each key to its reduced value. reduceFn receives the
+// values in a deterministic (input-index) order.
+func Run[In any, K comparable, V, R any](
+	ctx context.Context,
+	cfg Config,
+	inputs []In,
+	mapFn func(In, func(K, V)) error,
+	reduceFn func(K, []V) (R, error),
+) (map[K]R, error) {
+	// Map phase: each input produces its own pair slice so ordering is
+	// deterministic regardless of scheduling.
+	pairLists, err := Map(ctx, cfg, inputs, func(in In) ([]KV[K, V], error) {
+		var pairs []KV[K, V]
+		emit := func(k K, v V) { pairs = append(pairs, KV[K, V]{k, v}) }
+		if err := mapFn(in, emit); err != nil {
+			return nil, err
+		}
+		return pairs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Shuffle phase.
+	groups := make(map[K][]V)
+	for _, pairs := range pairLists {
+		for _, p := range pairs {
+			groups[p.Key] = append(groups[p.Key], p.Value)
+		}
+	}
+	// Reduce phase, parallel over keys.
+	keys := make([]K, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	reduced, err := Map(ctx, cfg, keys, func(k K) (R, error) {
+		return reduceFn(k, groups[k])
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[K]R, len(keys))
+	for i, k := range keys {
+		out[k] = reduced[i]
+	}
+	return out, nil
+}
+
+// Count is a convenience job that counts how many times mapFn emits each key
+// across all inputs.
+func Count[In any, K comparable](ctx context.Context, cfg Config, inputs []In, mapFn func(In, func(K)) error) (map[K]int, error) {
+	return Run(ctx, cfg, inputs,
+		func(in In, emit func(K, int)) error {
+			return mapFn(in, func(k K) { emit(k, 1) })
+		},
+		func(_ K, counts []int) (int, error) {
+			total := 0
+			for _, c := range counts {
+				total += c
+			}
+			return total, nil
+		})
+}
+
+// TopK returns the k keys with the largest counts, ties broken by the less
+// function over keys (and deterministically even without it when keys are
+// ordered). If less is nil, ties are broken arbitrarily but stably by count
+// only when counts differ; callers wanting full determinism should pass less.
+func TopK[K comparable](counts map[K]int, k int, less func(a, b K) bool) []K {
+	keys := make([]K, 0, len(counts))
+	for key := range counts {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		if less != nil {
+			return less(keys[i], keys[j])
+		}
+		return false
+	})
+	if k < len(keys) {
+		keys = keys[:k]
+	}
+	return keys
+}

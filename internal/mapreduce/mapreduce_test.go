@@ -1,0 +1,197 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	inputs := make([]int, 100)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	for _, workers := range []int{0, 1, 4, 200} {
+		got, err := Map(context.Background(), Config{Workers: workers}, inputs, func(x int) (int, error) {
+			return x * x, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyInput(t *testing.T) {
+	got, err := Map(nil, Config{}, nil, func(x int) (int, error) { return x, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty map: got %v, %v", got, err)
+	}
+}
+
+func TestMapPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), Config{Workers: 4}, []int{1, 2, 3, 4}, func(x int) (int, error) {
+		if x == 3 {
+			return 0, boom
+		}
+		return x, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "input 2") {
+		t.Errorf("err = %v, want it to name the failing input", err)
+	}
+}
+
+func TestMapHonorsContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	inputs := make([]int, 10000)
+	_, err := Map(ctx, Config{Workers: 2}, inputs, func(x int) (int, error) {
+		if calls.Add(1) == 5 {
+			cancel()
+		}
+		return x, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := calls.Load(); n >= 10000 {
+		t.Errorf("all %d inputs ran despite cancellation", n)
+	}
+}
+
+func TestRunWordCount(t *testing.T) {
+	docs := []string{"a b a", "b c", "a"}
+	counts, err := Run(context.Background(), Config{Workers: 3}, docs,
+		func(doc string, emit func(string, int)) error {
+			for _, w := range strings.Fields(doc) {
+				emit(w, 1)
+			}
+			return nil
+		},
+		func(_ string, vs []int) (int, error) {
+			n := 0
+			for _, v := range vs {
+				n += v
+			}
+			return n, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"a": 3, "b": 2, "c": 1}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Errorf("counts[%q] = %d, want %d", k, counts[k], v)
+		}
+	}
+}
+
+func TestRunReduceError(t *testing.T) {
+	_, err := Run(context.Background(), Config{}, []int{1},
+		func(x int, emit func(string, int)) error { emit("k", x); return nil },
+		func(string, []int) (int, error) { return 0, errors.New("reduce failed") })
+	if err == nil {
+		t.Fatal("expected reduce error")
+	}
+}
+
+func TestCountMatchesSequential(t *testing.T) {
+	f := func(xs []uint8) bool {
+		inputs := make([]int, len(xs))
+		for i, x := range xs {
+			inputs[i] = int(x % 7)
+		}
+		got, err := Count(context.Background(), Config{Workers: 4}, inputs, func(x int, emit func(int)) error {
+			emit(x)
+			if x%2 == 0 {
+				emit(-x)
+			}
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		want := map[int]int{}
+		for _, x := range inputs {
+			want[x]++
+			if x%2 == 0 {
+				want[-x]++
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	counts := map[string]int{"a": 5, "b": 9, "c": 5, "d": 1}
+	got := TopK(counts, 3, func(a, b string) bool { return a < b })
+	want := []string{"b", "a", "c"}
+	if len(got) != 3 {
+		t.Fatalf("TopK len = %d, want 3", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("TopK[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if all := TopK(counts, 10, nil); len(all) != 4 {
+		t.Errorf("TopK with large k = %d entries, want 4", len(all))
+	}
+}
+
+func TestRunDeterministicValueOrder(t *testing.T) {
+	// Values for a key must arrive at the reducer in input order even with
+	// many workers, so reductions like "first seen" are reproducible.
+	inputs := make([]int, 200)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	for trial := 0; trial < 5; trial++ {
+		out, err := Run(context.Background(), Config{Workers: 8}, inputs,
+			func(x int, emit func(string, int)) error { emit("k", x); return nil },
+			func(_ string, vs []int) ([]int, error) { return vs, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs := out["k"]
+		if !sort.IntsAreSorted(vs) {
+			t.Fatalf("trial %d: values not in input order: %v...", trial, vs[:10])
+		}
+	}
+}
+
+func ExampleCount() {
+	posts := []string{"dog park", "dog", "cat"}
+	counts, _ := Count(context.Background(), Config{Workers: 2}, posts, func(p string, emit func(string)) error {
+		for _, w := range strings.Fields(p) {
+			emit(w)
+		}
+		return nil
+	})
+	fmt.Println(counts["dog"], counts["cat"], counts["park"])
+	// Output: 2 1 1
+}

@@ -1,0 +1,225 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusion(t *testing.T) {
+	var c Confusion
+	// 2 TP, 1 FP, 1 FN, 3 TN
+	pairs := [][2]int8{{1, 1}, {1, 1}, {-1, 1}, {1, -1}, {-1, -1}, {-1, -1}, {-1, -1}}
+	for _, p := range pairs {
+		c.Add(p[0], p[1])
+	}
+	if c.TP != 2 || c.FP != 1 || c.FN != 1 || c.TN != 3 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if got := c.Precision(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("precision = %v", got)
+	}
+	if got := c.Recall(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("recall = %v", got)
+	}
+	if got := c.F1(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("f1 = %v", got)
+	}
+	if got := c.Accuracy(); math.Abs(got-5.0/7) > 1e-12 {
+		t.Errorf("accuracy = %v", got)
+	}
+}
+
+func TestConfusionZeroDivision(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 || c.Accuracy() != 0 {
+		t.Error("empty confusion should yield all zeros")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	c := Evaluate([]int8{1, -1}, []int8{1, 1})
+	if c.TP != 1 || c.FP != 1 {
+		t.Errorf("Evaluate = %+v", c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	Evaluate([]int8{1}, nil)
+}
+
+func TestAUPRCPerfectClassifier(t *testing.T) {
+	labels := []int8{1, 1, -1, -1, -1}
+	scores := []float64{0.9, 0.8, 0.3, 0.2, 0.1}
+	if got := AUPRC(labels, scores); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect AUPRC = %v, want 1", got)
+	}
+}
+
+func TestAUPRCWorstClassifier(t *testing.T) {
+	labels := []int8{-1, -1, -1, -1, 1}
+	scores := []float64{0.9, 0.8, 0.7, 0.6, 0.1}
+	// The single positive is ranked last: precision at its recall step is 1/5.
+	if got := AUPRC(labels, scores); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("worst AUPRC = %v, want 0.2", got)
+	}
+}
+
+func TestAUPRCRandomApproachesBaseRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 20000
+	labels := make([]int8, n)
+	scores := make([]float64, n)
+	for i := range labels {
+		if rng.Float64() < 0.1 {
+			labels[i] = 1
+		} else {
+			labels[i] = -1
+		}
+		scores[i] = rng.Float64()
+	}
+	got := AUPRC(labels, scores)
+	if math.Abs(got-0.1) > 0.02 {
+		t.Errorf("random AUPRC = %v, want ≈ base rate 0.1", got)
+	}
+}
+
+func TestAUPRCNoPositives(t *testing.T) {
+	if got := AUPRC([]int8{-1, -1}, []float64{0.5, 0.6}); got != 0 {
+		t.Errorf("no-positive AUPRC = %v, want 0", got)
+	}
+	if got := AUPRC(nil, nil); got != 0 {
+		t.Errorf("empty AUPRC = %v, want 0", got)
+	}
+}
+
+func TestAUPRCTieHandling(t *testing.T) {
+	// All scores identical: a single step with precision = base rate.
+	labels := []int8{1, -1, -1, -1}
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	if got := AUPRC(labels, scores); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("tied AUPRC = %v, want 0.25", got)
+	}
+}
+
+func TestAUPRCBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		labels := make([]int8, len(raw))
+		scores := make([]float64, len(raw))
+		hasPos := false
+		for i, r := range raw {
+			if r%3 == 0 {
+				labels[i] = 1
+				hasPos = true
+			} else {
+				labels[i] = -1
+			}
+			scores[i] = float64(r%97) / 97
+		}
+		a := AUPRC(labels, scores)
+		if !hasPos {
+			return a == 0
+		}
+		return a >= 0 && a <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPRCurveMonotoneRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	labels := make([]int8, 500)
+	scores := make([]float64, 500)
+	for i := range labels {
+		labels[i] = int8(1 - 2*(rng.Intn(2)))
+		scores[i] = rng.NormFloat64()
+	}
+	curve := PRCurve(labels, scores)
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Recall < curve[i-1].Recall {
+			t.Fatal("recall must be nondecreasing along the curve")
+		}
+		if curve[i].Threshold >= curve[i-1].Threshold {
+			t.Fatal("thresholds must strictly decrease")
+		}
+	}
+	if last := curve[len(curve)-1].Recall; math.Abs(last-1) > 1e-12 {
+		t.Errorf("final recall = %v, want 1", last)
+	}
+}
+
+func TestBestF1(t *testing.T) {
+	labels := []int8{1, 1, -1, -1}
+	scores := []float64{0.9, 0.8, 0.7, 0.1}
+	f1, thr := BestF1(labels, scores)
+	if math.Abs(f1-1) > 1e-12 {
+		t.Errorf("best F1 = %v, want 1", f1)
+	}
+	if thr != 0.8 {
+		t.Errorf("best threshold = %v, want 0.8", thr)
+	}
+}
+
+func TestRelative(t *testing.T) {
+	if got := Relative(1.5, 1.0); got != 1.5 {
+		t.Errorf("Relative = %v", got)
+	}
+	if got := Relative(1.5, 0); got != 0 {
+		t.Errorf("Relative with zero baseline = %v, want 0", got)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	if got := Coverage([]int8{1, 0, -1, 0}); got != 0.5 {
+		t.Errorf("Coverage = %v, want 0.5", got)
+	}
+	if got := Coverage(nil); got != 0 {
+		t.Errorf("Coverage(nil) = %v", got)
+	}
+}
+
+func TestBaseRate(t *testing.T) {
+	if got := BaseRate([]int8{1, -1, -1, -1}); got != 0.25 {
+		t.Errorf("BaseRate = %v", got)
+	}
+}
+
+func TestCrossEntropy(t *testing.T) {
+	// Perfect confident predictions approach zero loss.
+	if got := CrossEntropy([]float64{1, 0}, []float64{1, 0}); got > 1e-9 {
+		t.Errorf("perfect CE = %v", got)
+	}
+	// Uniform predictions give ln 2.
+	if got := CrossEntropy([]float64{1, 0}, []float64{0.5, 0.5}); math.Abs(got-math.Ln2) > 1e-12 {
+		t.Errorf("uniform CE = %v, want ln2", got)
+	}
+	// Soft targets are supported.
+	got := CrossEntropy([]float64{0.7}, []float64{0.7})
+	want := -(0.7*math.Log(0.7) + 0.3*math.Log(0.3))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("soft CE = %v, want %v", got, want)
+	}
+}
+
+func TestBootstrapAUPRC(t *testing.T) {
+	labels := []int8{1, 1, 1, -1, -1, -1, -1, -1}
+	scores := []float64{0.9, 0.8, 0.4, 0.6, 0.3, 0.2, 0.1, 0.05}
+	mean, lo, hi := BootstrapAUPRC(labels, scores, 200, 1)
+	if !(lo <= mean && mean <= hi) {
+		t.Errorf("bootstrap ordering violated: lo=%v mean=%v hi=%v", lo, mean, hi)
+	}
+	point := AUPRC(labels, scores)
+	if math.Abs(mean-point) > 0.2 {
+		t.Errorf("bootstrap mean %v far from point estimate %v", mean, point)
+	}
+	if m, _, _ := BootstrapAUPRC(nil, nil, 10, 1); m != 0 {
+		t.Error("empty bootstrap should be 0")
+	}
+}

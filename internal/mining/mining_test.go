@@ -1,0 +1,275 @@
+package mining
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"crossmodal/internal/feature"
+	"crossmodal/internal/lf"
+	"crossmodal/internal/mapreduce"
+)
+
+var schema = feature.MustSchema(
+	feature.Def{Name: "topic", Kind: feature.Categorical, Set: "C", Servable: true},
+	feature.Def{Name: "objects", Kind: feature.Categorical, Set: "C", Servable: true},
+	feature.Def{Name: "reports", Kind: feature.Numeric, Set: "D"},
+)
+
+// synthDev builds a dev set where:
+//   - topic "bad" is strongly positive, topic "safe" strongly negative;
+//   - objects {"a","b"} together are positive but individually weak;
+//   - reports > 8 is positive.
+func synthDev(n int, seed int64) ([]*feature.Vector, []int8) {
+	rng := rand.New(rand.NewSource(seed))
+	vecs := make([]*feature.Vector, n)
+	labels := make([]int8, n)
+	for i := range vecs {
+		v := feature.NewVector(schema)
+		pos := rng.Float64() < 0.2
+		switch {
+		case pos && rng.Float64() < 0.5:
+			v.MustSet("topic", feature.CategoricalValue("bad"))
+		case pos:
+			v.MustSet("topic", feature.CategoricalValue("meh"))
+		case rng.Float64() < 0.5:
+			v.MustSet("topic", feature.CategoricalValue("safe"))
+		default:
+			v.MustSet("topic", feature.CategoricalValue("meh"))
+		}
+		if pos && rng.Float64() < 0.6 {
+			v.MustSet("objects", feature.CategoricalValue("a", "b"))
+		} else {
+			// Negatives carry "a" or "b" alone frequently.
+			if rng.Float64() < 0.5 {
+				v.MustSet("objects", feature.CategoricalValue("a"))
+			} else {
+				v.MustSet("objects", feature.CategoricalValue("b"))
+			}
+		}
+		if pos {
+			v.MustSet("reports", feature.NumericValue(9+rng.Float64()*3))
+		} else {
+			v.MustSet("reports", feature.NumericValue(rng.Float64()*8))
+		}
+		labels[i] = -1
+		if pos {
+			labels[i] = 1
+		}
+		vecs[i] = v
+	}
+	return vecs, labels
+}
+
+func mineAll(t *testing.T, cfg Config, vecs []*feature.Vector, labels []int8) ([]*lf.LF, Report) {
+	t.Helper()
+	lfs, rep, err := Mine(context.Background(), mapreduce.Config{Workers: 2}, cfg, vecs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lfs, rep
+}
+
+func TestMineFindsStrongCategory(t *testing.T) {
+	vecs, labels := synthDev(3000, 1)
+	lfs, rep := mineAll(t, DefaultConfig(), vecs, labels)
+	if rep.PositiveLFs == 0 {
+		t.Fatalf("no positive LFs: %s", rep)
+	}
+	found := false
+	for _, l := range lfs {
+		if strings.Contains(l.Name, "topic=bad→+1") {
+			found = true
+		}
+		if l.Source != "mined" {
+			t.Errorf("LF source = %q", l.Source)
+		}
+	}
+	if !found {
+		t.Errorf("expected topic=bad positive LF; got %v", names(lfs))
+	}
+}
+
+func names(lfs []*lf.LF) []string {
+	out := make([]string, len(lfs))
+	for i, l := range lfs {
+		out[i] = l.Name
+	}
+	return out
+}
+
+func TestMineOrder2FindsConjunction(t *testing.T) {
+	vecs, labels := synthDev(3000, 2)
+	cfg := DefaultConfig()
+	cfg.MaxOrder = 2
+	cfg.PosPrecision = 0.8 // "a" and "b" alone are weak; {a,b} is strong
+	lfs, _ := mineAll(t, cfg, vecs, labels)
+	found := false
+	for _, l := range lfs {
+		if strings.Contains(l.Name, "objects⊇{a,b}") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected objects⊇{a,b} conjunction; got %v", names(lfs))
+	}
+}
+
+func TestMineNumericThreshold(t *testing.T) {
+	vecs, labels := synthDev(3000, 3)
+	lfs, rep := mineAll(t, DefaultConfig(), vecs, labels)
+	if rep.NumericLFs == 0 {
+		t.Fatalf("no numeric LFs: %s", rep)
+	}
+	found := false
+	for _, l := range lfs {
+		if strings.HasPrefix(l.Name, "reports≥") && strings.HasSuffix(l.Name, "→+1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected reports≥cut positive LF; got %v", names(lfs))
+	}
+}
+
+func TestMinedLFQuality(t *testing.T) {
+	vecs, labels := synthDev(4000, 4)
+	lfs, _ := mineAll(t, DefaultConfig(), vecs, labels)
+	m, err := lf.Apply(context.Background(), mapreduce.Config{}, lfs, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range lf.EvaluateAll(m, labels) {
+		if s.Votes == 0 {
+			t.Errorf("LF %s never votes on its own dev set", s.Name)
+			continue
+		}
+		if s.Precision < 0.5 {
+			t.Errorf("LF %s dev precision %.3f < 0.5 (threshold was 0.55)", s.Name, s.Precision)
+		}
+	}
+}
+
+func TestMineNegativeLFs(t *testing.T) {
+	vecs, labels := synthDev(4000, 5)
+	cfg := DefaultConfig()
+	cfg.NegPrecision = 0.9
+	lfs, rep := mineAll(t, cfg, vecs, labels)
+	if rep.NegativeLFs == 0 {
+		t.Fatalf("no negative LFs: %s (want topic=safe)", rep)
+	}
+	found := false
+	for _, l := range lfs {
+		if strings.Contains(l.Name, "topic=safe→-1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected topic=safe negative LF; got %v", names(lfs))
+	}
+}
+
+func TestMineValidation(t *testing.T) {
+	vecs, labels := synthDev(100, 6)
+	ctx := context.Background()
+	if _, _, err := Mine(ctx, mapreduce.Config{}, Config{}, vecs, labels); err == nil {
+		t.Error("zero config should fail validation")
+	}
+	if _, _, err := Mine(ctx, mapreduce.Config{}, DefaultConfig(), vecs, labels[:10]); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, _, err := Mine(ctx, mapreduce.Config{}, DefaultConfig(), nil, nil); err == nil {
+		t.Error("empty dev set should fail")
+	}
+	all := make([]int8, len(labels))
+	for i := range all {
+		all[i] = 1
+	}
+	if _, _, err := Mine(ctx, mapreduce.Config{}, DefaultConfig(), vecs, all); err == nil {
+		t.Error("single-class dev set should fail")
+	}
+}
+
+func TestMineSupportThresholdPrunes(t *testing.T) {
+	vecs, labels := synthDev(300, 7)
+	cfg := DefaultConfig()
+	cfg.MinSupport = 100000 // nothing can reach this
+	lfs, rep := mineAll(t, cfg, vecs, labels)
+	if rep.PositiveLFs != 0 || rep.NegativeLFs != 0 {
+		t.Errorf("huge support threshold should prune everything: %s, %v", rep, names(lfs))
+	}
+}
+
+func TestMinePerFeatureCap(t *testing.T) {
+	vecs, labels := synthDev(3000, 8)
+	cfg := DefaultConfig()
+	cfg.MaxLFsPerFeature = 1
+	lfs, _ := mineAll(t, cfg, vecs, labels)
+	perFeatVote := map[string]int{}
+	for _, l := range lfs {
+		if strings.HasPrefix(l.Name, "topic=") {
+			vote := "+"
+			if strings.HasSuffix(l.Name, "-1") {
+				vote = "-"
+			}
+			perFeatVote["topic"+vote]++
+		}
+	}
+	for k, n := range perFeatVote {
+		if n > 1 {
+			t.Errorf("cap violated for %s: %d LFs", k, n)
+		}
+	}
+}
+
+func TestMineDeterministic(t *testing.T) {
+	vecs, labels := synthDev(1500, 9)
+	a, _ := mineAll(t, DefaultConfig(), vecs, labels)
+	b, _ := mineAll(t, DefaultConfig(), vecs, labels)
+	na, nb := names(a), names(b)
+	if len(na) != len(nb) {
+		t.Fatalf("nondeterministic LF count: %d vs %d", len(na), len(nb))
+	}
+	for i := range na {
+		if na[i] != nb[i] {
+			t.Fatalf("nondeterministic LF order: %q vs %q", na[i], nb[i])
+		}
+	}
+}
+
+func TestJoinCandidates(t *testing.T) {
+	frequent := map[string][]itemset{
+		"f": {
+			{feat: "f", cats: []string{"a"}},
+			{feat: "f", cats: []string{"b"}},
+			{feat: "f", cats: []string{"c"}},
+		},
+	}
+	cands := joinCandidates(frequent, 2)
+	if len(cands) != 3 { // ab, ac, bc
+		t.Fatalf("order-2 candidates = %d, want 3: %v", len(cands), cands)
+	}
+	// Order 3 from {a,b}, {a,c}, {b,c} should join into {a,b,c} only.
+	frequent3 := map[string][]itemset{
+		"f": {
+			{feat: "f", cats: []string{"a", "b"}},
+			{feat: "f", cats: []string{"a", "c"}},
+			{feat: "f", cats: []string{"b", "c"}},
+		},
+	}
+	cands3 := joinCandidates(frequent3, 3)
+	if len(cands3) != 1 || strings.Join(cands3[0].cats, "") != "abc" {
+		t.Fatalf("order-3 candidates = %v, want [abc]", cands3)
+	}
+}
+
+func TestSupersetPruning(t *testing.T) {
+	accepted := []itemset{{feat: "f", cats: []string{"a"}}}
+	if !supersetOfAny(itemset{feat: "f", cats: []string{"a", "b"}}, accepted) {
+		t.Error("ab should be pruned as superset of a")
+	}
+	if supersetOfAny(itemset{feat: "f", cats: []string{"b", "c"}}, accepted) {
+		t.Error("bc is not a superset of a")
+	}
+}

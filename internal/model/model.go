@@ -1,0 +1,412 @@
+// Package model implements the discriminative end models the paper's TFX
+// pipelines train (§6.3): logistic regression and small fully-connected
+// neural networks, trained with a noise-aware cross-entropy loss that
+// accepts probabilistic labels from the weak-supervision step, plus the
+// machinery the fusion architectures need (access to pre-prediction-layer
+// activations, linear projections).
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config controls training.
+type Config struct {
+	// Hidden lists hidden-layer widths; empty trains logistic regression.
+	Hidden []int
+	// Epochs is the number of passes over the training data (default 8).
+	Epochs int
+	// BatchSize is the minibatch size (default 32).
+	BatchSize int
+	// LearningRate is Adam's step size (default 0.01).
+	LearningRate float64
+	// L2 is the weight-decay coefficient (default 1e-4).
+	L2 float64
+	// Seed drives initialization and shuffling.
+	Seed int64
+	// PositiveWeight scales the loss of positive-leaning targets to
+	// counter class imbalance; <= 0 means 1 (unweighted).
+	PositiveWeight float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epochs <= 0 {
+		c.Epochs = 8
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.01
+	}
+	if c.L2 < 0 {
+		c.L2 = 0
+	} else if c.L2 == 0 {
+		c.L2 = 1e-4
+	}
+	if c.PositiveWeight <= 0 {
+		c.PositiveWeight = 1
+	}
+	return c
+}
+
+// MLP is a feed-forward binary classifier: zero or more ReLU hidden layers
+// followed by a sigmoid output unit. With no hidden layers it is logistic
+// regression.
+type MLP struct {
+	weights [][][]float64 // weights[l][out][in]
+	biases  [][]float64   // biases[l][out]
+	inDim   int
+}
+
+// New initializes an untrained network for inDim inputs.
+func New(inDim int, hidden []int, seed int64) (*MLP, error) {
+	if inDim <= 0 {
+		return nil, fmt.Errorf("model: input dimension must be positive, got %d", inDim)
+	}
+	for _, h := range hidden {
+		if h <= 0 {
+			return nil, fmt.Errorf("model: hidden width must be positive, got %d", h)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &MLP{inDim: inDim}
+	sizes := append(append([]int{inDim}, hidden...), 1)
+	for l := 0; l+1 < len(sizes); l++ {
+		in, out := sizes[l], sizes[l+1]
+		scale := math.Sqrt(2 / float64(in))
+		W := make([][]float64, out)
+		for o := range W {
+			W[o] = make([]float64, in)
+			for i := range W[o] {
+				W[o][i] = rng.NormFloat64() * scale
+			}
+		}
+		m.weights = append(m.weights, W)
+		m.biases = append(m.biases, make([]float64, out))
+	}
+	return m, nil
+}
+
+// InDim returns the expected input width.
+func (m *MLP) InDim() int { return m.inDim }
+
+// HiddenDim returns the width of the activation vector feeding the final
+// prediction layer: the last hidden width, or the input width for logistic
+// regression.
+func (m *MLP) HiddenDim() int {
+	if len(m.weights) == 1 {
+		return m.inDim
+	}
+	return len(m.weights[len(m.weights)-2])
+}
+
+// forward computes all layer activations; acts[0] is the input, acts[last]
+// the sigmoid output (length 1).
+func (m *MLP) forward(x []float64) [][]float64 {
+	acts := make([][]float64, len(m.weights)+1)
+	acts[0] = x
+	for l := range m.weights {
+		in := acts[l]
+		out := make([]float64, len(m.weights[l]))
+		for o, row := range m.weights[l] {
+			z := m.biases[l][o]
+			for i, w := range row {
+				z += w * in[i]
+			}
+			if l == len(m.weights)-1 {
+				out[o] = sigmoid(z)
+			} else if z > 0 {
+				out[o] = z
+			}
+		}
+		acts[l+1] = out
+	}
+	return acts
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// PredictProba returns P(y = +1 | x). It panics if x has the wrong width —
+// a programming error.
+func (m *MLP) PredictProba(x []float64) float64 {
+	if len(x) != m.inDim {
+		panic(fmt.Sprintf("model: input width %d, want %d", len(x), m.inDim))
+	}
+	acts := m.forward(x)
+	return acts[len(acts)-1][0]
+}
+
+// PredictBatch returns P(y = +1) for every row.
+func (m *MLP) PredictBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = m.PredictProba(x)
+	}
+	return out
+}
+
+// HiddenActivation returns the activation vector feeding the final
+// prediction layer (the "output prior to the final softmax" the DeViSE and
+// intermediate-fusion architectures consume, paper §5). For logistic
+// regression this is the input itself.
+func (m *MLP) HiddenActivation(x []float64) []float64 {
+	if len(m.weights) == 1 {
+		return x
+	}
+	acts := m.forward(x)
+	return acts[len(acts)-2]
+}
+
+// PredictFromHidden applies only the final prediction layer to a hidden
+// activation vector — used at DeViSE inference, where the frozen old-
+// modality head scores projected new-modality embeddings.
+func (m *MLP) PredictFromHidden(h []float64) float64 {
+	l := len(m.weights) - 1
+	z := m.biases[l][0]
+	for i, w := range m.weights[l][0] {
+		z += w * h[i]
+	}
+	return sigmoid(z)
+}
+
+// Train fits the network on rows X with soft targets in [0,1] (probabilistic
+// labels; hard labels are 0/1) and optional per-example weights (nil means
+// uniform). Uses Adam with minibatches and the noise-aware cross-entropy
+// whose gradient at the output is simply p - target.
+func Train(X [][]float64, targets []float64, sampleWeights []float64, cfg Config) (*MLP, error) {
+	if len(X) == 0 {
+		return nil, fmt.Errorf("model: no training data")
+	}
+	if len(targets) != len(X) {
+		return nil, fmt.Errorf("model: %d rows vs %d targets", len(X), len(targets))
+	}
+	if sampleWeights != nil && len(sampleWeights) != len(X) {
+		return nil, fmt.Errorf("model: %d rows vs %d weights", len(X), len(sampleWeights))
+	}
+	for i, t := range targets {
+		if t < 0 || t > 1 || math.IsNaN(t) {
+			return nil, fmt.Errorf("model: target[%d] = %v outside [0,1]", i, t)
+		}
+	}
+	cfg = cfg.withDefaults()
+	m, err := New(len(X[0]), cfg.Hidden, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	opt := newAdam(m, cfg.LearningRate)
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
+	order := make([]int, len(X))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			m.step(X, targets, sampleWeights, order[start:end], opt, cfg)
+		}
+	}
+	return m, nil
+}
+
+// step accumulates gradients over one minibatch and applies an Adam update.
+func (m *MLP) step(X [][]float64, targets, sampleWeights []float64, batch []int, opt *adam, cfg Config) {
+	gradW, gradB := opt.zeroedGrads()
+	var totalWeight float64
+	for _, idx := range batch {
+		x, target := X[idx], targets[idx]
+		w := 1.0
+		if sampleWeights != nil {
+			w = sampleWeights[idx]
+		}
+		// Noise-aware class weighting: weight by the target's positive
+		// mass rather than a hard label.
+		w *= 1 + (cfg.PositiveWeight-1)*target
+		if w == 0 {
+			continue
+		}
+		totalWeight += w
+		acts := m.forward(x)
+		// Output delta: dL/dz = p - target for sigmoid cross-entropy.
+		delta := []float64{(acts[len(acts)-1][0] - target) * w}
+		for l := len(m.weights) - 1; l >= 0; l-- {
+			in := acts[l]
+			for o, d := range delta {
+				gradB[l][o] += d
+				row := gradW[l][o]
+				for i, v := range in {
+					row[i] += d * v
+				}
+			}
+			if l == 0 {
+				break
+			}
+			// Backpropagate through the ReLU layer below.
+			prev := make([]float64, len(in))
+			for i := range prev {
+				if in[i] <= 0 {
+					continue // ReLU gradient is 0
+				}
+				var s float64
+				for o, d := range delta {
+					s += d * m.weights[l][o][i]
+				}
+				prev[i] = s
+			}
+			delta = prev
+		}
+	}
+	if totalWeight == 0 {
+		return
+	}
+	opt.apply(m, gradW, gradB, totalWeight, cfg.L2)
+}
+
+// adam holds Adam optimizer state matching the network's parameter shapes.
+type adam struct {
+	lr         float64
+	t          int
+	mW, vW     [][][]float64
+	mB, vB     [][]float64
+	gW         [][][]float64
+	gB         [][]float64
+	beta1      float64
+	beta2      float64
+	eps        float64
+	shapesFrom *MLP
+}
+
+func newAdam(m *MLP, lr float64) *adam {
+	a := &adam{lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, shapesFrom: m}
+	a.mW, a.mB = cloneShape(m)
+	a.vW, a.vB = cloneShape(m)
+	a.gW, a.gB = cloneShape(m)
+	return a
+}
+
+func cloneShape(m *MLP) ([][][]float64, [][]float64) {
+	W := make([][][]float64, len(m.weights))
+	B := make([][]float64, len(m.biases))
+	for l := range m.weights {
+		W[l] = make([][]float64, len(m.weights[l]))
+		for o := range W[l] {
+			W[l][o] = make([]float64, len(m.weights[l][o]))
+		}
+		B[l] = make([]float64, len(m.biases[l]))
+	}
+	return W, B
+}
+
+// zeroedGrads returns the optimizer's reusable gradient buffers, zeroed.
+func (a *adam) zeroedGrads() ([][][]float64, [][]float64) {
+	for l := range a.gW {
+		for o := range a.gW[l] {
+			row := a.gW[l][o]
+			for i := range row {
+				row[i] = 0
+			}
+		}
+		for o := range a.gB[l] {
+			a.gB[l][o] = 0
+		}
+	}
+	return a.gW, a.gB
+}
+
+func (a *adam) apply(m *MLP, gradW [][][]float64, gradB [][]float64, totalWeight, l2 float64) {
+	a.t++
+	c1 := 1 - math.Pow(a.beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.beta2, float64(a.t))
+	for l := range m.weights {
+		for o := range m.weights[l] {
+			for i := range m.weights[l][o] {
+				g := gradW[l][o][i]/totalWeight + l2*m.weights[l][o][i]
+				a.mW[l][o][i] = a.beta1*a.mW[l][o][i] + (1-a.beta1)*g
+				a.vW[l][o][i] = a.beta2*a.vW[l][o][i] + (1-a.beta2)*g*g
+				m.weights[l][o][i] -= a.lr * (a.mW[l][o][i] / c1) / (math.Sqrt(a.vW[l][o][i]/c2) + a.eps)
+			}
+			g := gradB[l][o] / totalWeight
+			a.mB[l][o] = a.beta1*a.mB[l][o] + (1-a.beta1)*g
+			a.vB[l][o] = a.beta2*a.vB[l][o] + (1-a.beta2)*g*g
+			m.biases[l][o] -= a.lr * (a.mB[l][o] / c1) / (math.Sqrt(a.vB[l][o]/c2) + a.eps)
+		}
+	}
+}
+
+// Projection is a learned linear map between activation spaces — DeViSE's
+// projection layer P (paper §5, Figure 4).
+type Projection struct {
+	W [][]float64 // W[out][in]
+	b []float64
+}
+
+// FitProjection fits P minimizing mean squared error ||P(src) - dst||² by
+// gradient descent. src rows map to dst rows.
+func FitProjection(src, dst [][]float64, epochs int, lr float64, seed int64) (*Projection, error) {
+	if len(src) == 0 || len(src) != len(dst) {
+		return nil, fmt.Errorf("model: projection needs matched nonempty rows (%d vs %d)", len(src), len(dst))
+	}
+	inDim, outDim := len(src[0]), len(dst[0])
+	if epochs <= 0 {
+		epochs = 20
+	}
+	if lr <= 0 {
+		lr = 0.05
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := &Projection{W: make([][]float64, outDim), b: make([]float64, outDim)}
+	scale := math.Sqrt(1 / float64(inDim))
+	for o := range p.W {
+		p.W[o] = make([]float64, inDim)
+		for i := range p.W[o] {
+			p.W[o][i] = rng.NormFloat64() * scale
+		}
+	}
+	order := make([]int, len(src))
+	for i := range order {
+		order[i] = i
+	}
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for _, idx := range order {
+			x, y := src[idx], dst[idx]
+			for o := range p.W {
+				pred := p.b[o]
+				for i, w := range p.W[o] {
+					pred += w * x[i]
+				}
+				g := pred - y[o]
+				p.b[o] -= lr * g
+				for i := range p.W[o] {
+					p.W[o][i] -= lr * g * x[i]
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// Apply maps one vector through the projection.
+func (p *Projection) Apply(x []float64) []float64 {
+	out := make([]float64, len(p.W))
+	for o := range p.W {
+		v := p.b[o]
+		for i, w := range p.W[o] {
+			v += w * x[i]
+		}
+		out[o] = v
+	}
+	return out
+}

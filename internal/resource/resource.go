@@ -1,0 +1,211 @@
+// Package resource simulates organizational resources: the model-based
+// services, aggregate statistics, and rule-based services an organization
+// has accumulated (paper §3), which transform data points of any modality
+// into structured feature values and thereby induce the common feature space.
+//
+// Each Resource observes a data point's hidden entity through a
+// modality-specific noise channel (fidelity, dropout, false positives), so
+// the same service is more reliable on some modalities than others — the
+// mechanism behind the paper's cross-modality distribution differences.
+// Video points are featurized by splitting into image frames and merging the
+// per-frame observations (paper §3.1.1).
+package resource
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"crossmodal/internal/feature"
+	"crossmodal/internal/mapreduce"
+	"crossmodal/internal/synth"
+)
+
+// ObsParams sets the reliability of one observation channel.
+type ObsParams struct {
+	// Fidelity is the probability a categorical observation is correct
+	// (incorrect observations draw a random other value), or the weight of
+	// the true value for numeric observations.
+	Fidelity float64
+	// Dropout is the probability the whole observation is Missing.
+	Dropout float64
+	// FalsePositive is the probability of adding one spurious category to
+	// a multivalent observation.
+	FalsePositive float64
+	// ConfusionShift, when positive, makes 80% of categorical
+	// misclassifications systematic: the observed value is the true index
+	// shifted by this amount, modeling a channel that consistently
+	// confuses specific values (the driver of cross-modality input
+	// distribution shift).
+	ConfusionShift int
+	// Noise is the numeric observation's Gaussian noise scale.
+	Noise float64
+}
+
+// Resource is one organizational service. Implementations must be safe for
+// concurrent Observe calls.
+type Resource interface {
+	// Def describes the feature this resource produces.
+	Def() feature.Def
+	// Supports reports whether the resource can process modality m.
+	Supports(m synth.Modality) bool
+	// Observe renders the resource's (noisy) view of entity e through
+	// modality m, using rng for all observation noise.
+	Observe(e *synth.Entity, m synth.Modality, rng *rand.Rand) feature.Value
+}
+
+// Library is a collection of resources applied together to build the common
+// feature space.
+type Library struct {
+	world     *synth.World
+	resources []Resource
+	schema    *feature.Schema
+}
+
+// NewLibrary assembles a library. Resource feature names must be unique.
+func NewLibrary(world *synth.World, resources ...Resource) (*Library, error) {
+	defs := make([]feature.Def, len(resources))
+	for i, r := range resources {
+		defs[i] = r.Def()
+	}
+	schema, err := feature.NewSchema(defs...)
+	if err != nil {
+		return nil, fmt.Errorf("resource: %w", err)
+	}
+	return &Library{world: world, resources: resources, schema: schema}, nil
+}
+
+// Schema returns the feature schema induced by the library.
+func (l *Library) Schema() *feature.Schema { return l.schema }
+
+// World returns the world the library's services observe.
+func (l *Library) World() *synth.World { return l.world }
+
+// Resources returns the library's resources in schema order.
+func (l *Library) Resources() []Resource {
+	return append([]Resource(nil), l.resources...)
+}
+
+// Subset returns a library containing only resources whose feature set label
+// is in sets, preserving order. Unknown set labels simply select nothing.
+func (l *Library) Subset(sets ...string) (*Library, error) {
+	want := make(map[string]bool, len(sets))
+	for _, s := range sets {
+		want[s] = true
+	}
+	var keep []Resource
+	for _, r := range l.resources {
+		if want[r.Def().Set] {
+			keep = append(keep, r)
+		}
+	}
+	return NewLibrary(l.world, keep...)
+}
+
+// FeaturizePoint runs every applicable resource on one point and returns its
+// feature vector under the library schema. Resources that do not support the
+// point's modality leave their feature missing. Video points are split into
+// frames rendered through the image channel and merged.
+func (l *Library) FeaturizePoint(p *synth.Point) *feature.Vector {
+	v := feature.NewVector(l.schema)
+	for _, r := range l.resources {
+		name := r.Def().Name
+		var val feature.Value
+		switch {
+		case p.Modality == synth.Video:
+			if !r.Supports(synth.Image) {
+				continue
+			}
+			val = l.observeVideo(r, p)
+		case r.Supports(p.Modality):
+			val = r.Observe(p.Entity, p.Modality, p.ObservationRNG(name))
+		default:
+			continue
+		}
+		// Set cannot fail: name comes from the schema and resources
+		// produce kind-correct values.
+		v.MustSet(name, val)
+	}
+	return v
+}
+
+// observeVideo merges per-frame image observations: categorical values
+// union, numeric and embedding values average; all-missing frames leave the
+// feature missing.
+func (l *Library) observeVideo(r Resource, p *synth.Point) feature.Value {
+	d := r.Def()
+	frames := p.Frames
+	if frames <= 0 {
+		frames = 1
+	}
+	switch d.Kind {
+	case feature.Categorical:
+		seen := make(map[string]bool)
+		any := false
+		for f := 0; f < frames; f++ {
+			val := r.Observe(p.Entity, synth.Image, p.FrameRNG(d.Name, f))
+			if val.Missing {
+				continue
+			}
+			any = true
+			for _, c := range val.Categories {
+				seen[c] = true
+			}
+		}
+		if !any {
+			return feature.MissingValue()
+		}
+		cats := make([]string, 0, len(seen))
+		for c := range seen {
+			cats = append(cats, c)
+		}
+		sort.Strings(cats)
+		return feature.CategoricalValue(cats...)
+	case feature.Numeric:
+		var sum float64
+		n := 0
+		for f := 0; f < frames; f++ {
+			val := r.Observe(p.Entity, synth.Image, p.FrameRNG(d.Name, f))
+			if val.Missing {
+				continue
+			}
+			sum += val.Num
+			n++
+		}
+		if n == 0 {
+			return feature.MissingValue()
+		}
+		return feature.NumericValue(sum / float64(n))
+	case feature.Embedding:
+		acc := make([]float64, d.Dim)
+		n := 0
+		for f := 0; f < frames; f++ {
+			val := r.Observe(p.Entity, synth.Image, p.FrameRNG(d.Name, f))
+			if val.Missing || len(val.Vec) != d.Dim {
+				continue
+			}
+			for i, x := range val.Vec {
+				acc[i] += x
+			}
+			n++
+		}
+		if n == 0 {
+			return feature.MissingValue()
+		}
+		for i := range acc {
+			acc[i] /= float64(n)
+		}
+		return feature.EmbeddingValue(acc)
+	default:
+		return feature.MissingValue()
+	}
+}
+
+// Featurize runs the library over a corpus in parallel (the paper's
+// MapReduce featurization job) and returns one vector per point, in order.
+func (l *Library) Featurize(ctx context.Context, cfg mapreduce.Config, pts []*synth.Point) ([]*feature.Vector, error) {
+	return mapreduce.Map(ctx, cfg, pts, func(p *synth.Point) (*feature.Vector, error) {
+		return l.FeaturizePoint(p), nil
+	})
+}

@@ -1,0 +1,325 @@
+package resource
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"crossmodal/internal/feature"
+	"crossmodal/internal/mapreduce"
+	"crossmodal/internal/synth"
+)
+
+func testWorld(t *testing.T) *synth.World {
+	t.Helper()
+	return synth.MustWorld(synth.DefaultConfig())
+}
+
+func testLibrary(t *testing.T) *Library {
+	t.Helper()
+	w := testWorld(t)
+	lib, err := StandardLibrary(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+func testDataset(t *testing.T, n int) (*Library, []*synth.Point) {
+	t.Helper()
+	lib := testLibrary(t)
+	task, _ := synth.TaskByName("CT1")
+	ds, err := synth.BuildDataset(lib.World(), task, synth.DatasetConfig{
+		Seed: 5, NumText: n, NumUnlabeledImage: n, NumHandLabelPool: 1, NumTest: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib, append(ds.LabeledText, ds.UnlabeledImage...)
+}
+
+func TestStandardLibrarySchema(t *testing.T) {
+	lib := testLibrary(t)
+	s := lib.Schema()
+	// 15 organizational services (A:3, B:2, C:5, D:5) + 3 image + 2 text.
+	if got := s.Sets(ABCD...).Len(); got != 15 {
+		t.Errorf("ABCD features = %d, want 15", got)
+	}
+	if got := s.Sets(ImageSet).Len(); got != 3 {
+		t.Errorf("image features = %d, want 3", got)
+	}
+	if got := s.Sets(TextSet).Len(); got != 3 {
+		t.Errorf("text features = %d, want 3", got)
+	}
+	nonservable := s.Len() - s.Servable().Len()
+	if nonservable != 1 {
+		t.Errorf("nonservable features = %d, want 1 (user_reports)", nonservable)
+	}
+}
+
+func TestFeaturizePointModalitySupport(t *testing.T) {
+	lib, pts := testDataset(t, 50)
+	for _, p := range pts {
+		v := lib.FeaturizePoint(p)
+		imgVal := v.Get("img_embedding")
+		textVal := v.Get("text_wordcount")
+		switch p.Modality {
+		case synth.Text:
+			if !imgVal.Missing {
+				t.Fatal("text point has image embedding")
+			}
+		case synth.Image:
+			if !textVal.Missing {
+				t.Fatal("image point has text feature")
+			}
+			if imgVal.Missing {
+				// Embedding service never drops out.
+				t.Fatal("image point missing embedding")
+			}
+		}
+	}
+}
+
+func TestFeaturizeDeterministic(t *testing.T) {
+	lib, pts := testDataset(t, 20)
+	for _, p := range pts {
+		a := lib.FeaturizePoint(p)
+		b := lib.FeaturizePoint(p)
+		if a.String() != b.String() {
+			t.Fatalf("featurization not deterministic for point %d:\n%s\n%s", p.ID, a, b)
+		}
+	}
+}
+
+func TestFeaturizeParallelMatchesSerial(t *testing.T) {
+	lib, pts := testDataset(t, 64)
+	par, err := lib.Featurize(context.Background(), mapreduce.Config{Workers: 8}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if got, want := par[i].String(), lib.FeaturizePoint(p).String(); got != want {
+			t.Fatalf("point %d: parallel %s != serial %s", p.ID, got, want)
+		}
+	}
+}
+
+func TestContentServiceFidelity(t *testing.T) {
+	lib, pts := testDataset(t, 2000)
+	accOf := func(feat string) map[synth.Modality]float64 {
+		correctByMod := map[synth.Modality][2]int{}
+		for _, p := range pts {
+			v := lib.FeaturizePoint(p).Get(feat)
+			if v.Missing {
+				continue
+			}
+			counts := correctByMod[p.Modality]
+			counts[1]++
+			if v.HasCategory("t" + itoa(p.Entity.Topic)) {
+				counts[0]++
+			}
+			correctByMod[p.Modality] = counts
+		}
+		out := map[synth.Modality]float64{}
+		for m, c := range correctByMod {
+			out[m] = float64(c[0]) / float64(c[1])
+		}
+		return out
+	}
+	// The flagship topic model is near parity across modalities; the
+	// page-content categorizer favors text.
+	topic := accOf("topic")
+	if math.Abs(topic[synth.Text]-0.85) > 0.05 {
+		t.Errorf("text topic accuracy %.3f, want ≈0.85", topic[synth.Text])
+	}
+	if math.Abs(topic[synth.Text]-topic[synth.Image]) > 0.08 {
+		t.Errorf("topic service should be near parity: text %.3f vs image %.3f",
+			topic[synth.Text], topic[synth.Image])
+	}
+	page := accOf("page_category")
+	if !(page[synth.Text] > page[synth.Image]) {
+		t.Errorf("page_category should be more reliable on text: %.3f vs %.3f",
+			page[synth.Text], page[synth.Image])
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	n := len(buf)
+	for i > 0 {
+		n--
+		buf[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[n:])
+}
+
+func TestObjectsServiceFavorsImages(t *testing.T) {
+	lib, pts := testDataset(t, 2000)
+	recall := map[synth.Modality][2]int{}
+	for _, p := range pts {
+		v := lib.FeaturizePoint(p).Get("objects")
+		if v.Missing {
+			continue
+		}
+		c := recall[p.Modality]
+		for _, o := range p.Entity.Objects {
+			c[1]++
+			if v.HasCategory("obj" + itoa(o)) {
+				c[0]++
+			}
+		}
+		recall[p.Modality] = c
+	}
+	textR := float64(recall[synth.Text][0]) / float64(recall[synth.Text][1])
+	imgR := float64(recall[synth.Image][0]) / float64(recall[synth.Image][1])
+	if !(imgR > textR) {
+		t.Errorf("object detection should favor images: text %.3f vs image %.3f", textR, imgR)
+	}
+}
+
+func TestStatServiceTracksAggregate(t *testing.T) {
+	lib, pts := testDataset(t, 500)
+	w := lib.World()
+	var sumErr float64
+	n := 0
+	for _, p := range pts {
+		v := lib.FeaturizePoint(p).Get("user_reports")
+		if v.Missing {
+			continue
+		}
+		sumErr += math.Abs(v.Num - w.UserReports(p.Entity.User))
+		n++
+	}
+	if n == 0 {
+		t.Fatal("user_reports always missing")
+	}
+	if mean := sumErr / float64(n); mean > 1 {
+		t.Errorf("mean |obs - true| = %.3f, want < 1 (noise 0.4)", mean)
+	}
+}
+
+func TestVideoFrameMerging(t *testing.T) {
+	lib := testLibrary(t)
+	task, _ := synth.TaskByName("CT1")
+	if err := task.Calibrate(lib.World(), 2000, 1); err != nil {
+		t.Fatal(err)
+	}
+	vids := synth.SampleVideo(lib.World(), task, 30, 5, 3)
+	for _, p := range vids {
+		v := lib.FeaturizePoint(p)
+		if v.Get("text_wordcount").Missing == false {
+			t.Fatal("video point has text-only feature")
+		}
+		if v.Get("img_embedding").Missing {
+			t.Fatal("video point missing merged embedding")
+		}
+		if v.Get("topic").Missing {
+			t.Fatal("video point missing topic (5 frames should rarely all drop)")
+		}
+	}
+	// More frames give the set service more chances: union recall for
+	// video should beat single images.
+	single := synth.SampleVideo(lib.World(), task, 200, 1, 4)
+	multi := synth.SampleVideo(lib.World(), task, 200, 6, 4)
+	rec := func(pts []*synth.Point) float64 {
+		hit, tot := 0, 0
+		for _, p := range pts {
+			v := lib.FeaturizePoint(p).Get("objects")
+			for _, o := range p.Entity.Objects {
+				tot++
+				if v.HasCategory("obj" + itoa(o)) {
+					hit++
+				}
+			}
+		}
+		return float64(hit) / float64(tot)
+	}
+	if r1, r6 := rec(single), rec(multi); !(r6 > r1) {
+		t.Errorf("multi-frame union recall %.3f should beat single-frame %.3f", r6, r1)
+	}
+}
+
+func TestSubset(t *testing.T) {
+	lib := testLibrary(t)
+	ab, err := lib.Subset(SetA, SetB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ab.Schema().Len(); got != 5 {
+		t.Errorf("A+B features = %d, want 5", got)
+	}
+	empty, err := lib.Subset("nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Schema().Len() != 0 {
+		t.Error("unknown set should select nothing")
+	}
+}
+
+func TestNewLibraryRejectsDuplicates(t *testing.T) {
+	w := testWorld(t)
+	svc := NewStatService(feature.Def{Name: "dup", Set: "X", Servable: true}, w, textImage, nil,
+		func(*synth.World, *synth.Entity) float64 { return 0 })
+	if _, err := NewLibrary(w, svc, svc); err == nil {
+		t.Error("expected duplicate-name error")
+	}
+}
+
+func TestBucketServiceValidation(t *testing.T) {
+	w := testWorld(t)
+	_, err := NewBucketService(feature.Def{Name: "b"}, w, []float64{0.5}, []string{"only"}, textImage, nil,
+		func(*synth.World, *synth.Entity) float64 { return 0 })
+	if err == nil {
+		t.Error("expected names/cuts mismatch error")
+	}
+}
+
+func TestEmbeddingClustersByTopic(t *testing.T) {
+	lib, pts := testDataset(t, 3000)
+	byTopic := map[int][][]float64{}
+	for _, p := range pts {
+		if p.Modality != synth.Image {
+			continue
+		}
+		v := lib.FeaturizePoint(p).Get("img_embedding")
+		if !v.Missing {
+			byTopic[p.Entity.Topic] = append(byTopic[p.Entity.Topic], v.Vec)
+		}
+	}
+	var same, diff []float64
+	topics := make([]int, 0, len(byTopic))
+	for topic := range byTopic {
+		topics = append(topics, topic)
+	}
+	for _, a := range topics {
+		vs := byTopic[a]
+		if len(vs) >= 2 {
+			same = append(same, feature.CosineSimilarity(vs[0], vs[1]))
+		}
+		for _, b := range topics {
+			if b != a && len(byTopic[b]) > 0 && len(vs) > 0 {
+				diff = append(diff, feature.CosineSimilarity(vs[0], byTopic[b][0]))
+			}
+		}
+	}
+	if mean(same) <= mean(diff)+0.1 {
+		t.Errorf("same-topic embedding similarity %.3f should exceed cross-topic %.3f",
+			mean(same), mean(diff))
+	}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,201 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Point is one data point: a rendering of a hidden entity in a concrete
+// modality. Label always carries ground truth (+1/-1); whether a pipeline is
+// *allowed* to read it is a property of the corpus the point sits in (the
+// labeled text corpus and the test set expose labels; the unlabeled image
+// corpus does not — see Dataset).
+type Point struct {
+	ID       int
+	Entity   *Entity
+	Modality Modality
+	// Seed drives all modality-specific observation noise for this point,
+	// so independently computed features of the same point agree.
+	Seed uint64
+	// Frames is the number of image frames a video point splits into
+	// (paper §3.1.1: video is featurized by splitting into representative
+	// frames); 0 for non-video points.
+	Frames int
+	Label  int8
+}
+
+// ObservationRNG returns a deterministic RNG for one named observation
+// channel of this point (e.g. a particular service observing it). Distinct
+// channels get independent streams; the same channel always gets the same
+// stream.
+func (p *Point) ObservationRNG(channel string) *rand.Rand {
+	return rand.New(rand.NewSource(int64(subSeed(p.Seed, channel))))
+}
+
+// FrameRNG returns a deterministic RNG for one frame of a video point.
+func (p *Point) FrameRNG(channel string, frame int) *rand.Rand {
+	return rand.New(rand.NewSource(int64(subSeed(p.Seed, fmt.Sprintf("%s#frame%d", channel, frame)))))
+}
+
+// subSeed mixes a point seed with a channel name into a new 64-bit seed
+// using an FNV-1a / splitmix64 combination.
+func subSeed(seed uint64, channel string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(channel); i++ {
+		h ^= uint64(channel[i])
+		h *= 1099511628211
+	}
+	return splitmix64(seed ^ h)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// DatasetConfig sets corpus sizes for one task dataset. The paper's corpora
+// (Table 1) hold 18–26M labeled text and 7.2–7.4M unlabeled image points;
+// the defaults scale those ~1000× down while preserving the text:image ratio
+// and the positive rates.
+type DatasetConfig struct {
+	Seed int64
+	// NumText is the labeled old-modality corpus size.
+	NumText int
+	// NumUnlabeledImage is the new-modality corpus to be labeled by weak
+	// supervision.
+	NumUnlabeledImage int
+	// NumHandLabelPool is the budget pool of hand-labeled image points the
+	// cross-over experiments (Figure 5) draw from.
+	NumHandLabelPool int
+	// NumTest is the labeled image test set size.
+	NumTest int
+	// CalibrationSamples sizes task-threshold calibration (default 40000).
+	CalibrationSamples int
+}
+
+// DefaultDatasetConfig returns the scale used by the experiment suite.
+func DefaultDatasetConfig() DatasetConfig {
+	return DatasetConfig{
+		Seed:               7,
+		NumText:            20000,
+		NumUnlabeledImage:  8000,
+		NumHandLabelPool:   8000,
+		NumTest:            5000,
+		CalibrationSamples: 40000,
+	}
+}
+
+func (c DatasetConfig) validate() error {
+	if c.NumText <= 0 || c.NumUnlabeledImage <= 0 || c.NumTest <= 0 {
+		return fmt.Errorf("synth: dataset sizes must be positive: %+v", c)
+	}
+	if c.NumHandLabelPool < 0 {
+		return fmt.Errorf("synth: NumHandLabelPool must be >= 0")
+	}
+	return nil
+}
+
+// Dataset is the full corpus collection for one task, following the paper's
+// protocol (§6.1): labeled data of the old modality, unlabeled live-traffic
+// data of the new modality (sampled after the labeling cutoff, independent of
+// the labeled image data — no train/test leakage), a hand-label pool for the
+// fully supervised comparisons, and a labeled image test set.
+type Dataset struct {
+	Task  *Task
+	World *World
+
+	// LabeledText is the old-modality corpus; pipelines may read Label.
+	LabeledText []*Point
+	// UnlabeledImage is the new-modality corpus; pipelines must not read
+	// Label (it is retained for post-hoc analysis only).
+	UnlabeledImage []*Point
+	// HandLabelPool holds labeled image points for fully supervised
+	// baselines; disjoint from both UnlabeledImage and TestImage.
+	HandLabelPool []*Point
+	// TestImage is the held-out labeled evaluation set.
+	TestImage []*Point
+}
+
+// BuildDataset samples a dataset for the task. The task is calibrated as a
+// side effect if it has not been already.
+func BuildDataset(w *World, task *Task, cfg DatasetConfig) (*Dataset, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	calN := cfg.CalibrationSamples
+	if calN == 0 {
+		calN = 40000
+	}
+	if !task.calibrated {
+		if err := task.Calibrate(w, calN, cfg.Seed^0x5ca1ab1e); err != nil {
+			return nil, err
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{Task: task, World: w}
+	nextID := 0
+	sample := func(n int, m Modality) []*Point {
+		pts := make([]*Point, n)
+		for i := range pts {
+			e := w.SampleEntity(rng, m, nextID)
+			pts[i] = &Point{
+				ID:       nextID,
+				Entity:   e,
+				Modality: m,
+				Seed:     splitmix64(uint64(cfg.Seed)<<20 ^ uint64(nextID)),
+				Label:    task.Label(w, e),
+			}
+			nextID++
+		}
+		return pts
+	}
+	ds.LabeledText = sample(cfg.NumText, Text)
+	ds.UnlabeledImage = sample(cfg.NumUnlabeledImage, Image)
+	ds.HandLabelPool = sample(cfg.NumHandLabelPool, Image)
+	ds.TestImage = sample(cfg.NumTest, Image)
+	return ds, nil
+}
+
+// SampleVideo draws n video points, each splitting into frames image frames,
+// from the new-modality prior. Used by the video-adaptation example.
+func SampleVideo(w *World, task *Task, n, frames int, seed int64) []*Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]*Point, n)
+	for i := range pts {
+		e := w.SampleEntity(rng, Video, i)
+		pts[i] = &Point{
+			ID:       i,
+			Entity:   e,
+			Modality: Video,
+			Seed:     splitmix64(uint64(seed)<<20 ^ uint64(i) ^ 0xf00d),
+			Frames:   frames,
+			Label:    task.Label(w, e),
+		}
+	}
+	return pts
+}
+
+// PositiveRate returns the fraction of points with Label == +1.
+func PositiveRate(pts []*Point) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	n := 0
+	for _, p := range pts {
+		if p.Label > 0 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(pts))
+}
+
+// Labels extracts the ground-truth labels of pts in order.
+func Labels(pts []*Point) []int8 {
+	out := make([]int8, len(pts))
+	for i, p := range pts {
+		out[i] = p.Label
+	}
+	return out
+}

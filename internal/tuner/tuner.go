@@ -1,0 +1,217 @@
+// Package tuner is a small black-box hyperparameter optimizer standing in
+// for Google Vizier (paper §6.3, which uses Vizier to set end-model
+// hyperparameters): define a search space, then maximize an objective with
+// random search or successive halving.
+package tuner
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Params is one sampled hyperparameter assignment.
+type Params map[string]any
+
+// Float returns the named float parameter; it panics if absent or of the
+// wrong type — a programming error in objective code.
+func (p Params) Float(name string) float64 {
+	v, ok := p[name].(float64)
+	if !ok {
+		panic(fmt.Sprintf("tuner: param %q is not a float (%v)", name, p[name]))
+	}
+	return v
+}
+
+// Int returns the named integer parameter.
+func (p Params) Int(name string) int {
+	v, ok := p[name].(int)
+	if !ok {
+		panic(fmt.Sprintf("tuner: param %q is not an int (%v)", name, p[name]))
+	}
+	return v
+}
+
+// Choice returns the named categorical parameter.
+func (p Params) Choice(name string) string {
+	v, ok := p[name].(string)
+	if !ok {
+		panic(fmt.Sprintf("tuner: param %q is not a choice (%v)", name, p[name]))
+	}
+	return v
+}
+
+type paramKind int
+
+const (
+	floatParam paramKind = iota
+	logFloatParam
+	intParam
+	choiceParam
+)
+
+type paramDef struct {
+	name     string
+	kind     paramKind
+	lo, hi   float64
+	intLo    int
+	intHi    int
+	choices  []string
+	defaults any
+}
+
+// Space is a hyperparameter search space. The zero value is empty; add
+// dimensions with the builder methods, which return the space for chaining.
+type Space struct {
+	defs []paramDef
+}
+
+// Float adds a uniform float dimension on [lo, hi].
+func (s *Space) Float(name string, lo, hi float64) *Space {
+	s.defs = append(s.defs, paramDef{name: name, kind: floatParam, lo: lo, hi: hi})
+	return s
+}
+
+// LogFloat adds a log-uniform float dimension on [lo, hi]; lo must be > 0.
+func (s *Space) LogFloat(name string, lo, hi float64) *Space {
+	s.defs = append(s.defs, paramDef{name: name, kind: logFloatParam, lo: lo, hi: hi})
+	return s
+}
+
+// Int adds a uniform integer dimension on [lo, hi] inclusive.
+func (s *Space) Int(name string, lo, hi int) *Space {
+	s.defs = append(s.defs, paramDef{name: name, kind: intParam, intLo: lo, intHi: hi})
+	return s
+}
+
+// Choice adds a categorical dimension.
+func (s *Space) Choice(name string, options ...string) *Space {
+	s.defs = append(s.defs, paramDef{name: name, kind: choiceParam, choices: options})
+	return s
+}
+
+func (s *Space) validate() error {
+	if len(s.defs) == 0 {
+		return fmt.Errorf("tuner: empty search space")
+	}
+	seen := map[string]bool{}
+	for _, d := range s.defs {
+		if seen[d.name] {
+			return fmt.Errorf("tuner: duplicate param %q", d.name)
+		}
+		seen[d.name] = true
+		switch d.kind {
+		case floatParam:
+			if d.hi < d.lo {
+				return fmt.Errorf("tuner: param %q has hi < lo", d.name)
+			}
+		case logFloatParam:
+			if d.lo <= 0 || d.hi < d.lo {
+				return fmt.Errorf("tuner: log param %q needs 0 < lo <= hi", d.name)
+			}
+		case intParam:
+			if d.intHi < d.intLo {
+				return fmt.Errorf("tuner: int param %q has hi < lo", d.name)
+			}
+		case choiceParam:
+			if len(d.choices) == 0 {
+				return fmt.Errorf("tuner: choice param %q has no options", d.name)
+			}
+		}
+	}
+	return nil
+}
+
+// Sample draws one assignment.
+func (s *Space) Sample(rng *rand.Rand) Params {
+	p := make(Params, len(s.defs))
+	for _, d := range s.defs {
+		switch d.kind {
+		case floatParam:
+			p[d.name] = d.lo + rng.Float64()*(d.hi-d.lo)
+		case logFloatParam:
+			p[d.name] = math.Exp(math.Log(d.lo) + rng.Float64()*(math.Log(d.hi)-math.Log(d.lo)))
+		case intParam:
+			p[d.name] = d.intLo + rng.Intn(d.intHi-d.intLo+1)
+		case choiceParam:
+			p[d.name] = d.choices[rng.Intn(len(d.choices))]
+		}
+	}
+	return p
+}
+
+// Trial records one evaluated assignment.
+type Trial struct {
+	Params Params
+	Score  float64
+}
+
+// RandomSearch samples trials assignments, evaluates objective on each, and
+// returns the best (highest score) plus the full history. The first
+// objective error aborts the search.
+func RandomSearch(space *Space, objective func(Params) (float64, error), trials int, seed int64) (Trial, []Trial, error) {
+	if err := space.validate(); err != nil {
+		return Trial{}, nil, err
+	}
+	if trials <= 0 {
+		return Trial{}, nil, fmt.Errorf("tuner: trials must be positive, got %d", trials)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	history := make([]Trial, 0, trials)
+	best := Trial{Score: math.Inf(-1)}
+	for i := 0; i < trials; i++ {
+		params := space.Sample(rng)
+		score, err := objective(params)
+		if err != nil {
+			return Trial{}, history, fmt.Errorf("tuner: trial %d: %w", i, err)
+		}
+		tr := Trial{Params: params, Score: score}
+		history = append(history, tr)
+		if score > best.Score {
+			best = tr
+		}
+	}
+	return best, history, nil
+}
+
+// SuccessiveHalving runs the successive-halving bandit: start with `initial`
+// sampled assignments at minBudget, keep the top 1/eta at each rung with
+// eta× the budget, until one (or maxBudget) remains. The objective receives
+// the budget (e.g. training epochs) alongside the params.
+func SuccessiveHalving(space *Space, objective func(Params, int) (float64, error), initial, minBudget, maxBudget int, eta float64, seed int64) (Trial, error) {
+	if err := space.validate(); err != nil {
+		return Trial{}, err
+	}
+	if initial <= 0 || minBudget <= 0 || maxBudget < minBudget {
+		return Trial{}, fmt.Errorf("tuner: bad halving parameters (initial=%d budgets=%d..%d)", initial, minBudget, maxBudget)
+	}
+	if eta <= 1 {
+		eta = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pool := make([]Trial, initial)
+	for i := range pool {
+		pool[i] = Trial{Params: space.Sample(rng)}
+	}
+	budget := minBudget
+	for {
+		for i := range pool {
+			score, err := objective(pool[i].Params, budget)
+			if err != nil {
+				return Trial{}, fmt.Errorf("tuner: halving at budget %d: %w", budget, err)
+			}
+			pool[i].Score = score
+		}
+		sort.Slice(pool, func(a, b int) bool { return pool[a].Score > pool[b].Score })
+		if len(pool) == 1 || budget >= maxBudget {
+			return pool[0], nil
+		}
+		keep := int(math.Ceil(float64(len(pool)) / eta))
+		if keep < 1 {
+			keep = 1
+		}
+		pool = pool[:keep]
+		budget = int(math.Min(float64(budget)*eta, float64(maxBudget)))
+	}
+}

@@ -1,0 +1,158 @@
+package tuner
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func quadraticSpace() *Space {
+	return new(Space).Float("x", -5, 5).Float("y", -5, 5)
+}
+
+func TestRandomSearchFindsNearOptimum(t *testing.T) {
+	obj := func(p Params) (float64, error) {
+		x, y := p.Float("x"), p.Float("y")
+		return -(x-1)*(x-1) - (y+2)*(y+2), nil
+	}
+	best, history, err := RandomSearch(quadraticSpace(), obj, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(history) != 300 {
+		t.Fatalf("history = %d trials", len(history))
+	}
+	if best.Score < -0.5 {
+		t.Errorf("best score = %.3f, want near 0", best.Score)
+	}
+	if math.Abs(best.Params.Float("x")-1) > 1 {
+		t.Errorf("best x = %.3f, want near 1", best.Params.Float("x"))
+	}
+}
+
+func TestRandomSearchPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	_, _, err := RandomSearch(quadraticSpace(), func(Params) (float64, error) { return 0, boom }, 5, 1)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSpaceValidation(t *testing.T) {
+	cases := []*Space{
+		{},
+		new(Space).Float("x", 2, 1),
+		new(Space).LogFloat("x", 0, 1),
+		new(Space).Int("x", 5, 4),
+		new(Space).Choice("x"),
+		new(Space).Float("x", 0, 1).Float("x", 0, 1),
+	}
+	for i, s := range cases {
+		if _, _, err := RandomSearch(s, func(Params) (float64, error) { return 0, nil }, 1, 1); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if _, _, err := RandomSearch(quadraticSpace(), func(Params) (float64, error) { return 0, nil }, 0, 1); err == nil {
+		t.Error("expected error for zero trials")
+	}
+}
+
+func TestSampleRespectsBounds(t *testing.T) {
+	s := new(Space).
+		Float("f", -1, 1).
+		LogFloat("lr", 1e-4, 1).
+		Int("h", 2, 8).
+		Choice("opt", "sgd", "adam")
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		p := s.Sample(rng)
+		if f := p.Float("f"); f < -1 || f > 1 {
+			t.Fatalf("f = %v out of bounds", f)
+		}
+		if lr := p.Float("lr"); lr < 1e-4 || lr > 1 {
+			t.Fatalf("lr = %v out of bounds", lr)
+		}
+		if h := p.Int("h"); h < 2 || h > 8 {
+			t.Fatalf("h = %v out of bounds", h)
+		}
+		if o := p.Choice("opt"); o != "sgd" && o != "adam" {
+			t.Fatalf("opt = %q", o)
+		}
+	}
+}
+
+func TestLogFloatCoversDecades(t *testing.T) {
+	s := new(Space).LogFloat("lr", 1e-4, 1)
+	rng := rand.New(rand.NewSource(3))
+	small, large := 0, 0
+	for i := 0; i < 2000; i++ {
+		lr := s.Sample(rng).Float("lr")
+		if lr < 1e-3 {
+			small++
+		}
+		if lr > 1e-1 {
+			large++
+		}
+	}
+	// Log-uniform: each decade holds ~25% of the mass.
+	if small < 300 || large < 300 {
+		t.Errorf("log sampling skewed: %d small, %d large of 2000", small, large)
+	}
+}
+
+func TestParamsAccessorsPanic(t *testing.T) {
+	p := Params{"x": 1.5}
+	for _, f := range []func(){
+		func() { p.Int("x") },
+		func() { p.Choice("x") },
+		func() { p.Float("missing") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSuccessiveHalving(t *testing.T) {
+	// Score improves with budget and with small |x|; halving should find
+	// a small |x| and end at max budget.
+	calls := 0
+	obj := func(p Params, budget int) (float64, error) {
+		calls++
+		x := p.Float("x")
+		return float64(budget) - x*x, nil
+	}
+	s := new(Space).Float("x", -3, 3)
+	best, err := SuccessiveHalving(s, obj, 16, 1, 8, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(best.Params.Float("x")) > 1.2 {
+		t.Errorf("halving best x = %.3f, want near 0", best.Params.Float("x"))
+	}
+	// 16 + 8 + 4 + 2 evaluations = 30 < 16*4 full evaluations.
+	if calls >= 16*4 {
+		t.Errorf("halving did %d calls, should be fewer than full search", calls)
+	}
+}
+
+func TestSuccessiveHalvingValidation(t *testing.T) {
+	s := new(Space).Float("x", 0, 1)
+	obj := func(Params, int) (float64, error) { return 0, nil }
+	if _, err := SuccessiveHalving(s, obj, 0, 1, 8, 2, 1); err == nil {
+		t.Error("expected error for zero initial")
+	}
+	if _, err := SuccessiveHalving(s, obj, 4, 8, 1, 2, 1); err == nil {
+		t.Error("expected error for maxBudget < minBudget")
+	}
+	boom := errors.New("boom")
+	if _, err := SuccessiveHalving(s, func(Params, int) (float64, error) { return 0, boom }, 2, 1, 2, 2, 1); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
