@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check test build bench race
+
+## check: tier-1 gate — build everything, run every test.
+check:
+	$(GO) build ./...
+	$(GO) test ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## bench: the perf-tracked benchmarks (training engine, batch prediction,
+## Table 1 reproduction, full pipeline run). Record deltas in CHANGES.md.
+bench:
+	$(GO) test ./internal/model/ -run xxx -bench 'BenchmarkModelTrain|BenchmarkPredictBatch' -benchmem
+	$(GO) test . -run xxx -bench 'BenchmarkTable1|BenchmarkPipelineRun' -benchmem -benchtime 3x
+
+## race: race-detector pass over the concurrent packages (training engine,
+## mapreduce, label propagation, feature encoding).
+race:
+	$(GO) test -race ./internal/model/ ./internal/mapreduce/ ./internal/labelprop/ ./internal/feature/

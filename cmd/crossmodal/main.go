@@ -6,7 +6,7 @@
 // Usage:
 //
 //	crossmodal [-task CT1] [-scale 1.0] [-seed 17] [-fusion early|intermediate|devise]
-//	           [-no-labelprop] [-expert-lfs] [-v]
+//	           [-no-labelprop] [-expert-lfs] [-workers N] [-v]
 package main
 
 import (
@@ -34,15 +34,16 @@ func main() {
 		fusionKind  = flag.String("fusion", "early", "fusion architecture: early, intermediate, devise")
 		noLabelProp = flag.Bool("no-labelprop", false, "disable the label-propagation LF")
 		expertLFs   = flag.Bool("expert-lfs", false, "use simulated-expert LFs instead of mining")
+		workers     = flag.Int("workers", 0, "worker goroutines per parallel stage (0 = GOMAXPROCS)")
 		verbose     = flag.Bool("v", false, "print per-LF development statistics")
 	)
 	flag.Parse()
-	if err := run(*taskName, *scale, *seed, *fusionKind, *noLabelProp, *expertLFs, *verbose); err != nil {
+	if err := run(*taskName, *scale, *seed, *fusionKind, *noLabelProp, *expertLFs, *workers, *verbose); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(taskName string, scale float64, seed int64, fusionKind string, noLabelProp, expertLFs, verbose bool) error {
+func run(taskName string, scale float64, seed int64, fusionKind string, noLabelProp, expertLFs bool, workers int, verbose bool) error {
 	ctx := context.Background()
 	world, err := synth.NewWorld(synth.DefaultConfig())
 	if err != nil {
@@ -72,6 +73,7 @@ func run(taskName string, scale float64, seed int64, fusionKind string, noLabelP
 
 	opts := core.DefaultOptions()
 	opts.Seed = seed
+	opts.Workers = workers
 	opts.Fusion = core.FusionKind(fusionKind)
 	opts.UseLabelProp = !noLabelProp
 	if expertLFs {
@@ -118,7 +120,7 @@ func run(taskName string, scale float64, seed int64, fusionKind string, noLabelP
 	if err != nil {
 		return err
 	}
-	mcfg := model.Config{Epochs: 6, LearningRate: 0.02, Seed: 11}
+	mcfg := model.Config{Epochs: 6, LearningRate: 0.02, Seed: 11, Workers: workers}
 	basePred, err := pipe.TrainSupervised(ctx, ds.HandLabelPool, pipe.EmbeddingOnlySchema(), mcfg)
 	if err != nil {
 		return err

@@ -29,11 +29,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		run   = flag.String("run", "all", "experiment to run (all, table1, table2, table3, figure5, figure6, figure7, fusion, lfgen, ablations, rawvsfeat)")
-		scale = flag.Float64("scale", 1.0, "corpus scale factor")
-		seed  = flag.Int64("seed", 17, "random seed")
-		tasks = flag.String("tasks", "", "comma-separated task subset (default: all five)")
-		out   = flag.String("o", "", "output file (default stdout)")
+		run     = flag.String("run", "all", "experiment to run (all, table1, table2, table3, figure5, figure6, figure7, fusion, lfgen, ablations, rawvsfeat)")
+		scale   = flag.Float64("scale", 1.0, "corpus scale factor")
+		seed    = flag.Int64("seed", 17, "random seed")
+		tasks   = flag.String("tasks", "", "comma-separated task subset (default: all five)")
+		out     = flag.String("o", "", "output file (default stdout)")
+		workers = flag.Int("workers", 0, "worker goroutines per parallel stage (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -55,7 +56,7 @@ func main() {
 	if *tasks != "" {
 		taskList = strings.Split(*tasks, ",")
 	}
-	suite, err := experiments.NewSuite(experiments.Config{Scale: *scale, Seed: *seed})
+	suite, err := experiments.NewSuite(experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}

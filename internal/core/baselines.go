@@ -56,7 +56,7 @@ func (p *Pipeline) TrainSupervised(ctx context.Context, pts []*synth.Point, sche
 	corpus := fusion.Corpus{Name: "supervised", Vectors: vecs, Targets: targets}
 	return fusion.TrainEarly([]fusion.Corpus{corpus}, fusion.Config{
 		Schema:   schema,
-		Model:    mcfg,
+		Model:    p.modelConfig(mcfg),
 		MaxVocab: p.opts.MaxVocab,
 	})
 }

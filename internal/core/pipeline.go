@@ -553,6 +553,15 @@ func (p *Pipeline) DefaultTrainSpec() TrainSpec {
 	}
 }
 
+// modelConfig defaults the model's Workers knob from the pipeline options
+// when the caller left it unset, so one -workers flag steers every stage.
+func (p *Pipeline) modelConfig(mcfg model.Config) model.Config {
+	if mcfg.Workers == 0 {
+		mcfg.Workers = p.opts.Workers
+	}
+	return mcfg
+}
+
 // Train fits one end-model variant (stage C, §5) from a curation.
 func (p *Pipeline) Train(cur *Curation, spec TrainSpec) (fusion.Predictor, error) {
 	if !spec.UseText && !spec.UseImage {
@@ -562,7 +571,7 @@ func (p *Pipeline) Train(cur *Curation, spec TrainSpec) (fusion.Predictor, error
 	if schema == nil {
 		schema = p.SchemaFor(spec.ModelSets, spec.IncludeModalityFeatures, spec.IncludeModalityFeatures)
 	}
-	cfg := fusion.Config{Schema: schema, Model: spec.Model, MaxVocab: p.opts.MaxVocab}
+	cfg := fusion.Config{Schema: schema, Model: p.modelConfig(spec.Model), MaxVocab: p.opts.MaxVocab}
 	var corpora []fusion.Corpus
 	var textCorpus, imageCorpus fusion.Corpus
 	if spec.UseText {

@@ -233,7 +233,7 @@ func (s *Suite) RawVsFeatures(ctx context.Context, taskName string) (RawVsFeatur
 		return RawVsFeaturesResult{}, err
 	}
 	schema := tc.pipe.SchemaFor(resource.ABCD, true, false)
-	pred, err := tc.pipe.TrainSupervised(ctx, tc.ds.HandLabelPool, schema, endModelConfig())
+	pred, err := tc.pipe.TrainSupervised(ctx, tc.ds.HandLabelPool, schema, endModelConfig(0))
 	if err != nil {
 		return RawVsFeaturesResult{}, err
 	}

@@ -173,7 +173,7 @@ func (s *Suite) trainMasked(tc *taskContext, textSets, imageSets []string, useIm
 		}
 		corpora = append(corpora, fusion.Corpus{Name: "image", Vectors: vecs, Targets: targets})
 	}
-	pred, err := fusion.TrainEarly(corpora, fusion.Config{Schema: endSchema, Model: endModelConfig()})
+	pred, err := fusion.TrainEarly(corpora, fusion.Config{Schema: endSchema, Model: endModelConfig(s.cfg.Workers)})
 	if err != nil {
 		return 0, err
 	}

@@ -111,9 +111,11 @@ func (s *Suite) datasetConfig() synth.DatasetConfig {
 }
 
 // endModelConfig is the logistic-regression end model used by most
-// experiments (the paper deploys LR or small DNNs, §6.3).
-func endModelConfig() model.Config {
-	return model.Config{Epochs: 6, LearningRate: 0.02, Seed: 11}
+// experiments (the paper deploys LR or small DNNs, §6.3). workers shards
+// minibatches across goroutines; 0 inherits the pipeline's Workers knob
+// when the config flows through core, or GOMAXPROCS otherwise.
+func endModelConfig(workers int) model.Config {
+	return model.Config{Epochs: 6, LearningRate: 0.02, Seed: 11, Workers: workers}
 }
 
 // pipelineOptions returns the default pipeline configuration, sized to the
@@ -121,7 +123,7 @@ func endModelConfig() model.Config {
 func (s *Suite) pipelineOptions() core.Options {
 	o := core.DefaultOptions()
 	o.Workers = s.cfg.Workers
-	o.Model = endModelConfig()
+	o.Model = endModelConfig(s.cfg.Workers)
 	o.Seed = s.cfg.Seed
 	if s.cfg.Scale < 1 {
 		o.MaxGraphSeeds = int(float64(o.MaxGraphSeeds) * s.cfg.Scale)
@@ -173,7 +175,7 @@ func (s *Suite) ctxFor(ctx context.Context, taskName string) (*taskContext, erro
 	}
 	// Baseline: fully supervised image model on the pre-trained embedding
 	// only, trained on the whole hand-label pool (§6.3).
-	basePred, err := pipe.TrainSupervised(ctx, ds.HandLabelPool, pipe.EmbeddingOnlySchema(), endModelConfig())
+	basePred, err := pipe.TrainSupervised(ctx, ds.HandLabelPool, pipe.EmbeddingOnlySchema(), endModelConfig(s.cfg.Workers))
 	if err != nil {
 		return nil, err
 	}
@@ -244,7 +246,7 @@ func (tc *taskContext) budgets() []int {
 // supervisedCurve trains fully supervised image models at each budget over
 // the given schema and returns baseline-relative AUPRCs.
 func (tc *taskContext) supervisedCurve(ctx context.Context, budgets []int, schema *feature.Schema) ([]core.BudgetPoint, error) {
-	curve, err := tc.pipe.SupervisedCurve(ctx, tc.ds.HandLabelPool, tc.ds.TestImage, budgets, schema, endModelConfig())
+	curve, err := tc.pipe.SupervisedCurve(ctx, tc.ds.HandLabelPool, tc.ds.TestImage, budgets, schema, endModelConfig(0))
 	if err != nil {
 		return nil, err
 	}

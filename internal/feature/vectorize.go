@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"crossmodal/internal/mapreduce"
 )
 
 // Vocabulary maps the category strings observed for one categorical feature
@@ -237,14 +239,48 @@ func (vz *Vectorizer) TransformInto(v *Vector, row []float64) {
 	}
 }
 
-// TransformAll encodes a batch of vectors into a row-major matrix.
+// transformChunk is how many rows one TransformAll work item encodes; it
+// amortizes scheduling without starving the workers.
+const transformChunk = 128
+
+// TransformAll encodes a batch of vectors into a row-major matrix, sharding
+// the batch across GOMAXPROCS workers.
 func (vz *Vectorizer) TransformAll(vectors []*Vector) [][]float64 {
+	return vz.TransformAllWorkers(vectors, 0)
+}
+
+// TransformAllWorkers is TransformAll with an explicit worker count
+// (0 means GOMAXPROCS, 1 is serial). Rows are written into disjoint slices
+// of one flat backing array, so the result is identical for any count.
+func (vz *Vectorizer) TransformAllWorkers(vectors []*Vector, workers int) [][]float64 {
 	rows := make([][]float64, len(vectors))
 	flat := make([]float64, len(vectors)*vz.width)
-	for i, v := range vectors {
+	for i := range rows {
 		rows[i] = flat[i*vz.width : (i+1)*vz.width]
-		vz.TransformInto(v, rows[i])
 	}
+	if workers == 1 || len(vectors) <= transformChunk {
+		for i, v := range vectors {
+			vz.TransformInto(v, rows[i])
+		}
+		return rows
+	}
+	nChunks := (len(vectors) + transformChunk - 1) / transformChunk
+	chunks := make([]int, nChunks)
+	for c := range chunks {
+		chunks[c] = c
+	}
+	// The mapper writes disjoint rows and never errors.
+	_, _ = mapreduce.Map(nil, mapreduce.Config{Workers: workers}, chunks, func(c int) (struct{}, error) {
+		lo := c * transformChunk
+		hi := lo + transformChunk
+		if hi > len(vectors) {
+			hi = len(vectors)
+		}
+		for i := lo; i < hi; i++ {
+			vz.TransformInto(vectors[i], rows[i])
+		}
+		return struct{}{}, nil
+	})
 	return rows
 }
 

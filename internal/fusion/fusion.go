@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"crossmodal/internal/feature"
+	"crossmodal/internal/mapreduce"
 	"crossmodal/internal/model"
 )
 
@@ -61,6 +62,22 @@ type Predictor interface {
 	PredictBatch(vs []*feature.Vector) []float64
 }
 
+// mapWorkers returns the mapreduce config implied by the model config's
+// Workers knob (0 = GOMAXPROCS).
+func mapWorkers(cfg Config) mapreduce.Config {
+	return mapreduce.Config{Workers: cfg.Model.Workers}
+}
+
+// predictAll scores vectors in parallel with fn, which must be safe for
+// concurrent use. Each slot is written independently, so the result is
+// identical for any worker count.
+func predictAll(cfg mapreduce.Config, vs []*feature.Vector, fn func(*feature.Vector) float64) []float64 {
+	out, _ := mapreduce.Map(nil, cfg, vs, func(v *feature.Vector) (float64, error) {
+		return fn(v), nil
+	})
+	return out
+}
+
 // reproject maps corpus vectors onto the end-model schema.
 func reproject(schema *feature.Schema, vecs []*feature.Vector) []*feature.Vector {
 	out := make([]*feature.Vector, len(vecs))
@@ -98,8 +115,9 @@ func pooled(schema *feature.Schema, corpora []Corpus) (vecs []*feature.Vector, t
 // over the merged multi-modality dataset. Modality-specific features are
 // simply missing (and flagged so) for the other modalities.
 type EarlyModel struct {
-	vz  *feature.Vectorizer
-	net *model.MLP
+	vz      *feature.Vectorizer
+	net     *model.MLP
+	workers int
 }
 
 // TrainEarly fits the early-fusion model on all corpora.
@@ -117,11 +135,11 @@ func TrainEarly(corpora []Corpus, cfg Config) (*EarlyModel, error) {
 	}
 	vecs, targets, weights := pooled(cfg.Schema, corpora)
 	vz := feature.FitVectorizer(cfg.Schema, vecs, feature.WithMaxVocabulary(cfg.MaxVocab))
-	net, err := model.Train(vz.TransformAll(vecs), targets, weights, cfg.Model)
+	net, err := model.Train(vz.TransformAllWorkers(vecs, cfg.Model.Workers), targets, weights, cfg.Model)
 	if err != nil {
 		return nil, err
 	}
-	return &EarlyModel{vz: vz, net: net}, nil
+	return &EarlyModel{vz: vz, net: net, workers: cfg.Model.Workers}, nil
 }
 
 // Predict implements Predictor.
@@ -129,13 +147,10 @@ func (m *EarlyModel) Predict(v *feature.Vector) float64 {
 	return m.net.PredictProba(m.vz.Transform(v))
 }
 
-// PredictBatch implements Predictor.
+// PredictBatch implements Predictor: the batch transform and the network
+// forward passes both shard across the model's workers.
 func (m *EarlyModel) PredictBatch(vs []*feature.Vector) []float64 {
-	out := make([]float64, len(vs))
-	for i, v := range vs {
-		out[i] = m.Predict(v)
-	}
-	return out
+	return m.net.PredictBatch(m.vz.TransformAllWorkers(vs, m.workers))
 }
 
 // Hidden returns the activation feeding the model's prediction layer; the
@@ -154,9 +169,10 @@ func (m *EarlyModel) PredictFromHidden(h []float64) float64 {
 // concatenated into a final jointly trained network (paper §5: a second
 // pass over all data where shared features enter every per-modality model).
 type IntermediateModel struct {
-	vz    *feature.Vectorizer
-	parts []*model.MLP
-	final *model.MLP
+	vz      *feature.Vectorizer
+	parts   []*model.MLP
+	final   *model.MLP
+	workers int
 }
 
 // TrainIntermediate fits the two-stage intermediate-fusion model.
@@ -176,10 +192,10 @@ func TrainIntermediate(corpora []Corpus, cfg Config) (*IntermediateModel, error)
 	vz := feature.FitVectorizer(cfg.Schema, allVecs, feature.WithMaxVocabulary(cfg.MaxVocab))
 
 	// Stage 1: independent per-modality models.
-	m := &IntermediateModel{vz: vz}
+	m := &IntermediateModel{vz: vz, workers: cfg.Model.Workers}
 	seed := cfg.Model.Seed
 	for ci, c := range corpora {
-		rows := vz.TransformAll(reproject(cfg.Schema, c.Vectors))
+		rows := vz.TransformAllWorkers(reproject(cfg.Schema, c.Vectors), cfg.Model.Workers)
 		mcfg := cfg.Model
 		mcfg.Seed = seed + int64(ci)*101
 		net, err := model.Train(rows, c.Targets, c.Weights, mcfg)
@@ -190,9 +206,11 @@ func TrainIntermediate(corpora []Corpus, cfg Config) (*IntermediateModel, error)
 	}
 
 	// Stage 2: final model over concatenated embeddings of every point.
-	concat := make([][]float64, len(allVecs))
-	for i, v := range allVecs {
-		concat[i] = m.embed(v)
+	concat, err := mapreduce.Map(nil, mapWorkers(cfg), allVecs, func(v *feature.Vector) ([]float64, error) {
+		return m.embed(v), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	mcfg := cfg.Model
 	mcfg.Seed = seed + 7919
@@ -219,13 +237,9 @@ func (m *IntermediateModel) Predict(v *feature.Vector) float64 {
 	return m.final.PredictProba(m.embed(v.Reproject(m.vz.Schema())))
 }
 
-// PredictBatch implements Predictor.
+// PredictBatch implements Predictor, sharded across the model's workers.
 func (m *IntermediateModel) PredictBatch(vs []*feature.Vector) []float64 {
-	out := make([]float64, len(vs))
-	for i, v := range vs {
-		out[i] = m.Predict(v)
-	}
-	return out
+	return predictAll(mapreduce.Config{Workers: m.workers}, vs, m.Predict)
 }
 
 // DeViSEModel adapts the DeViSE architecture to the cross-modal setting
@@ -234,9 +248,10 @@ func (m *IntermediateModel) PredictBatch(vs []*feature.Vector) []float64 {
 // P maps B's embedding onto A's; at inference a new-modality point flows
 // through B, then P, then A's frozen prediction layer.
 type DeViSEModel struct {
-	a    *EarlyModel
-	b    *EarlyModel
-	proj *model.Projection
+	a       *EarlyModel
+	b       *EarlyModel
+	proj    *model.Projection
+	workers int
 }
 
 // TrainDeViSE fits the three-stage DeViSE pipeline. oldCorpora are the
@@ -258,18 +273,24 @@ func TrainDeViSE(oldCorpora []Corpus, newCorpus Corpus, cfg Config) (*DeViSEMode
 	}
 	// Train P to match B's embedding (Y) to frozen A's embedding (X) over
 	// the new-modality corpus, whose shared features exist in both.
-	src := make([][]float64, len(newCorpus.Vectors))
-	dst := make([][]float64, len(newCorpus.Vectors))
-	for i, v := range newCorpus.Vectors {
+	type pair struct{ src, dst []float64 }
+	pairs, err := mapreduce.Map(nil, mapWorkers(cfg), newCorpus.Vectors, func(v *feature.Vector) (pair, error) {
 		pv := v.Reproject(cfg.Schema)
-		src[i] = b.Hidden(pv)
-		dst[i] = a.Hidden(pv)
+		return pair{src: b.Hidden(pv), dst: a.Hidden(pv)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	proj, err := model.FitProjection(src, dst, 25, 0.02, cfg.Model.Seed+63)
+	src := make([][]float64, len(pairs))
+	dst := make([][]float64, len(pairs))
+	for i, p := range pairs {
+		src[i], dst[i] = p.src, p.dst
+	}
+	proj, err := model.FitProjection(src, dst, 25, 0.02, cfg.Model.Seed+63, cfg.Model.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("fusion: devise projection: %w", err)
 	}
-	return &DeViSEModel{a: a, b: b, proj: proj}, nil
+	return &DeViSEModel{a: a, b: b, proj: proj, workers: cfg.Model.Workers}, nil
 }
 
 // Predict implements Predictor: B embeds, P projects, frozen A scores.
@@ -277,11 +298,7 @@ func (m *DeViSEModel) Predict(v *feature.Vector) float64 {
 	return m.a.PredictFromHidden(m.proj.Apply(m.b.Hidden(v)))
 }
 
-// PredictBatch implements Predictor.
+// PredictBatch implements Predictor, sharded across the model's workers.
 func (m *DeViSEModel) PredictBatch(vs []*feature.Vector) []float64 {
-	out := make([]float64, len(vs))
-	for i, v := range vs {
-		out[i] = m.Predict(v)
-	}
-	return out
+	return predictAll(mapreduce.Config{Workers: m.workers}, vs, m.Predict)
 }

@@ -31,9 +31,9 @@ func (c Config) workers() int {
 }
 
 // Map applies fn to every input in parallel and returns the outputs in input
-// order. It stops at the first error (remaining work may still run to
-// completion) and returns it. A nil context is treated as
-// context.Background().
+// order. The first error cancels the job's context, so queued work is
+// dropped and only already in-flight calls finish; the first error is
+// returned. A nil context is treated as context.Background().
 func Map[In, Out any](ctx context.Context, cfg Config, inputs []In, fn func(In) (Out, error)) ([]Out, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -57,6 +57,11 @@ func Map[In, Out any](ctx context.Context, cfg Config, inputs []In, fn func(In) 
 		return outputs, nil
 	}
 
+	// Cancelling on the first mapper error stops the feed loop and lets
+	// workers skip anything already queued, so the job short-circuits
+	// instead of running the remaining inputs to completion.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -68,11 +73,15 @@ func Map[In, Out any](ctx context.Context, cfg Config, inputs []In, fn func(In) 
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if ctx.Err() != nil {
+					continue
+				}
 				out, err := fn(inputs[i])
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = fmt.Errorf("mapreduce: map input %d: %w", i, err)
+						cancel()
 					}
 					mu.Unlock()
 					continue
@@ -91,11 +100,14 @@ feed:
 	}
 	close(next)
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
 		return nil, err
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return outputs, nil
 }

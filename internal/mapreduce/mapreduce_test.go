@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestMapPreservesOrder(t *testing.T) {
@@ -194,4 +195,45 @@ func ExampleCount() {
 	})
 	fmt.Println(counts["dog"], counts["cat"], counts["park"])
 	// Output: 2 1 1
+}
+
+// TestMapShortCircuitsOnError: the first mapper error must cancel the job so
+// queued inputs are dropped instead of running to completion.
+func TestMapShortCircuitsOnError(t *testing.T) {
+	const n = 500
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	var calls atomic.Int32
+	_, err := Map(context.Background(), Config{Workers: 4}, inputs, func(i int) (int, error) {
+		calls.Add(1)
+		if i == 0 {
+			return 0, errors.New("boom")
+		}
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected the mapper error")
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("error should wrap the mapper's, got %v", err)
+	}
+	if got := calls.Load(); got > n/2 {
+		t.Errorf("map ran %d of %d inputs after the first error; should short-circuit", got, n)
+	}
+}
+
+// TestMapParentCancellationReported: with no mapper error, a canceled parent
+// context is still reported as such.
+func TestMapParentCancellationReported(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	inputs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	if _, err := Map(ctx, Config{Workers: 2}, inputs, func(i int) (int, error) {
+		return i, nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
 }

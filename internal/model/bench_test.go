@@ -1,0 +1,71 @@
+package model
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// benchTrainData sizes the training benchmarks like the experiment suite's
+// end models: a few thousand rows of a few-hundred-wide dense feature space.
+func benchTrainData(n, dim int) ([][]float64, []float64) {
+	X, targets, _ := linearData(n, dim, 0.2, 7)
+	return X, targets
+}
+
+func benchmarkTrain(b *testing.B, hidden []int, workers int) {
+	X, targets := benchTrainData(2000, 128)
+	cfg := Config{Hidden: hidden, Epochs: 3, LearningRate: 0.02, Seed: 11, Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(X, targets, nil, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelTrain(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		hidden []int
+	}{
+		{"lr", nil},
+		{"mlp32", []int{32}},
+	} {
+		for _, workers := range benchWorkerCounts() {
+			b.Run(fmt.Sprintf("%s/workers=%d", tc.name, workers), func(b *testing.B) {
+				benchmarkTrain(b, tc.hidden, workers)
+			})
+		}
+	}
+}
+
+func BenchmarkPredictBatch(b *testing.B) {
+	X, targets := benchTrainData(4000, 128)
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			m, err := Train(X[:200], targets[:200], nil,
+				Config{Hidden: []int{32}, Epochs: 1, Seed: 11, Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.PredictBatch(X)
+			}
+		})
+	}
+}
+
+// benchWorkerCounts returns the worker counts worth benchmarking on this
+// host: serial, and (when the host has more than one CPU) 2 and GOMAXPROCS.
+func benchWorkerCounts() []int {
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		if n > 2 {
+			counts = append(counts, 2)
+		}
+		counts = append(counts, n)
+	}
+	return counts
+}

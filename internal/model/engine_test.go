@@ -1,0 +1,152 @@
+package model
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// TestTrainWorkerCountInvariance: the same seed must produce bit-identical
+// weights and predictions for any worker count, because the gradient shard
+// partition and merge order are fixed (see numGradShards).
+func TestTrainWorkerCountInvariance(t *testing.T) {
+	X, targets, _ := linearData(600, 16, 0.3, 21)
+	sampleWeights := make([]float64, len(X))
+	rng := rand.New(rand.NewSource(4))
+	for i := range sampleWeights {
+		sampleWeights[i] = 0.5 + rng.Float64()
+	}
+	cfg := Config{Hidden: []int{8}, Seed: 11, Epochs: 3, PositiveWeight: 2}
+	cfg.Workers = 1
+	serial, err := Train(X, targets, sampleWeights, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serial.Params()
+	for _, workers := range []int{2, runtime.GOMAXPROCS(0), numGradShards + 3} {
+		cfg.Workers = workers
+		m, err := Train(X, targets, sampleWeights, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := m.Params()
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("workers=%d: param[%d] = %v, serial = %v (not bit-identical)", workers, j, got[j], want[j])
+			}
+		}
+		for i := 0; i < 25; i++ {
+			if a, b := m.PredictProba(X[i]), serial.PredictProba(X[i]); a != b {
+				t.Fatalf("workers=%d: PredictProba(X[%d]) = %v, serial = %v", workers, i, a, b)
+			}
+		}
+	}
+}
+
+// TestPredictBatchMatchesPredictProba: the chunked parallel batch path must
+// agree exactly with the per-sample path.
+func TestPredictBatchMatchesPredictProba(t *testing.T) {
+	X, targets, _ := linearData(300, 12, 0.2, 9)
+	m, err := Train(X, targets, nil, Config{Hidden: []int{6}, Seed: 2, Epochs: 2, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := m.PredictBatch(X)
+	for i, x := range X {
+		if p := m.PredictProba(x); p != batch[i] {
+			t.Fatalf("PredictBatch[%d] = %v, PredictProba = %v", i, batch[i], p)
+		}
+	}
+}
+
+// TestStepAllocationFree: once the trainer's buffers exist, a training step
+// must not allocate — per-sample activations, deltas, and gradients all live
+// in preallocated arenas, and the parallel path reuses a persistent pool.
+func TestStepAllocationFree(t *testing.T) {
+	X, targets, _ := linearData(256, 32, 0.2, 3)
+	for _, workers := range []int{1, 4} {
+		cfg := Config{Hidden: []int{8}, Workers: workers}.withDefaults()
+		m, err := New(len(X[0]), cfg.Hidden, cfg.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := newTrainer(m, cfg)
+		batch := make([]int, cfg.BatchSize)
+		for i := range batch {
+			batch[i] = i
+		}
+		tr.step(X, targets, nil, batch) // warm up
+		allocs := testing.AllocsPerRun(50, func() {
+			tr.step(X, targets, nil, batch)
+		})
+		tr.close()
+		if allocs != 0 {
+			t.Errorf("workers=%d: steady-state step allocates %v objects, want 0", workers, allocs)
+		}
+	}
+}
+
+// TestFitProjectionWorkerCountInvariance: projection rows evolve
+// independently, so any stripe partition must give bit-identical results.
+func TestFitProjectionWorkerCountInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var src, dst [][]float64
+	for i := 0; i < 200; i++ {
+		x := make([]float64, 6)
+		y := make([]float64, 5)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		for j := range y {
+			y[j] = rng.NormFloat64()
+		}
+		src = append(src, x)
+		dst = append(dst, y)
+	}
+	serial, err := FitProjection(src, dst, 10, 0.03, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		p, err := FitProjection(src, dst, 10, 0.03, 5, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range serial.w {
+			if p.w[j] != serial.w[j] {
+				t.Fatalf("workers=%d: w[%d] = %v, serial = %v", workers, j, p.w[j], serial.w[j])
+			}
+		}
+		for j := range serial.b {
+			if p.b[j] != serial.b[j] {
+				t.Fatalf("workers=%d: b[%d] = %v, serial = %v", workers, j, p.b[j], serial.b[j])
+			}
+		}
+	}
+}
+
+// TestApplyInto: the in-place projection application must match Apply.
+func TestApplyInto(t *testing.T) {
+	src := [][]float64{{1, 2}, {3, 4}, {-1, 0.5}}
+	dst := [][]float64{{0.5, 1, 2}, {1, 0, -1}, {2, 2, 2}}
+	p, err := FitProjection(src, dst, 5, 0.05, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 3)
+	for _, x := range src {
+		p.ApplyInto(x, out)
+		want := p.Apply(x)
+		for j := range want {
+			if out[j] != want[j] {
+				t.Fatalf("ApplyInto[%d] = %v, Apply = %v", j, out[j], want[j])
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on wrong ApplyInto width")
+		}
+	}()
+	p.ApplyInto(src[0], make([]float64, 2))
+}

@@ -4,12 +4,22 @@
 // accepts probabilistic labels from the weak-supervision step, plus the
 // machinery the fusion architectures need (access to pre-prediction-layer
 // activations, linear projections).
+//
+// Training is data-parallel and allocation-lean: every minibatch is split
+// into a fixed number of gradient shards processed by up to Config.Workers
+// goroutines, each accumulating into preallocated buffers (see train.go).
+// Because the shard partition and the shard merge order are independent of
+// the worker count, training is bit-for-bit deterministic for a given seed
+// no matter how many workers run.
 package model
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+
+	"crossmodal/internal/mapreduce"
 )
 
 // Config controls training.
@@ -29,6 +39,10 @@ type Config struct {
 	// PositiveWeight scales the loss of positive-leaning targets to
 	// counter class imbalance; <= 0 means 1 (unweighted).
 	PositiveWeight float64
+	// Workers shards each minibatch across goroutines; 0 or negative
+	// means GOMAXPROCS, 1 is serial. Results are bit-for-bit identical
+	// for any worker count (gradients merge in fixed shard order).
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -49,16 +63,29 @@ func (c Config) withDefaults() Config {
 	if c.PositiveWeight <= 0 {
 		c.PositiveWeight = 1
 	}
+	if c.Workers < 0 {
+		c.Workers = 0
+	}
 	return c
 }
 
 // MLP is a feed-forward binary classifier: zero or more ReLU hidden layers
 // followed by a sigmoid output unit. With no hidden layers it is logistic
 // regression.
+//
+// All parameters live in one contiguous []float64 backing array laid out
+// layer by layer as [weights (out×in, row-major) | biases (out)], so the
+// inner dot-product loops walk memory sequentially and optimizer updates
+// are single flat sweeps. weights[l] and biases[l] are views into it.
 type MLP struct {
-	weights [][][]float64 // weights[l][out][in]
-	biases  [][]float64   // biases[l][out]
 	inDim   int
+	sizes   []int       // layer widths: [inDim, hidden..., 1]
+	params  []float64   // flat backing array for all weights and biases
+	weights [][]float64 // weights[l]: flat out×in view, row-major
+	biases  [][]float64 // biases[l]: view of length out
+	wOff    []int       // offset of weights[l] within params
+	bOff    []int       // offset of biases[l] within params
+	workers int         // preferred batch-op worker count (0 = GOMAXPROCS)
 }
 
 // New initializes an untrained network for inDim inputs.
@@ -73,19 +100,27 @@ func New(inDim int, hidden []int, seed int64) (*MLP, error) {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	m := &MLP{inDim: inDim}
-	sizes := append(append([]int{inDim}, hidden...), 1)
-	for l := 0; l+1 < len(sizes); l++ {
-		in, out := sizes[l], sizes[l+1]
+	m.sizes = append(append([]int{inDim}, hidden...), 1)
+	total := 0
+	for l := 0; l+1 < len(m.sizes); l++ {
+		total += m.sizes[l]*m.sizes[l+1] + m.sizes[l+1]
+	}
+	m.params = make([]float64, total)
+	off := 0
+	for l := 0; l+1 < len(m.sizes); l++ {
+		in, out := m.sizes[l], m.sizes[l+1]
+		m.wOff = append(m.wOff, off)
+		W := m.params[off : off+in*out]
+		off += in * out
+		m.bOff = append(m.bOff, off)
+		b := m.params[off : off+out]
+		off += out
 		scale := math.Sqrt(2 / float64(in))
-		W := make([][]float64, out)
-		for o := range W {
-			W[o] = make([]float64, in)
-			for i := range W[o] {
-				W[o][i] = rng.NormFloat64() * scale
-			}
+		for j := range W {
+			W[j] = rng.NormFloat64() * scale
 		}
 		m.weights = append(m.weights, W)
-		m.biases = append(m.biases, make([]float64, out))
+		m.biases = append(m.biases, b)
 	}
 	return m, nil
 }
@@ -100,31 +135,83 @@ func (m *MLP) HiddenDim() int {
 	if len(m.weights) == 1 {
 		return m.inDim
 	}
-	return len(m.weights[len(m.weights)-2])
+	return m.sizes[len(m.sizes)-2]
 }
 
-// forward computes all layer activations; acts[0] is the input, acts[last]
-// the sigmoid output (length 1).
-func (m *MLP) forward(x []float64) [][]float64 {
-	acts := make([][]float64, len(m.weights)+1)
-	acts[0] = x
+// Params returns a copy of all parameters in their contiguous storage order
+// (per layer: weights row-major, then biases) — for checkpointing and for
+// exact-equality comparisons in tests.
+func (m *MLP) Params() []float64 {
+	return append([]float64(nil), m.params...)
+}
+
+// defaultWorkers is the worker count a zero Config.Workers resolves to.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// resolveWorkers maps the configured worker count to an effective one.
+func (m *MLP) resolveWorkers() int {
+	if m.workers > 0 {
+		return m.workers
+	}
+	return defaultWorkers()
+}
+
+// scratch holds one goroutine's preallocated forward/backward buffers: the
+// per-layer activations and backprop deltas live in a single flat arena so a
+// steady-state training step allocates nothing per sample.
+type scratch struct {
+	acts   [][]float64 // acts[0] aliases the input row; acts[l+1] is layer l's output
+	deltas [][]float64 // deltas[l] is dL/dz at layer l's output
+}
+
+func (m *MLP) newScratch() *scratch {
+	L := len(m.weights)
+	s := &scratch{acts: make([][]float64, L+1), deltas: make([][]float64, L)}
+	n := 0
+	for l := 0; l < L; l++ {
+		n += 2 * m.sizes[l+1]
+	}
+	arena := make([]float64, n)
+	off := 0
+	for l := 0; l < L; l++ {
+		out := m.sizes[l+1]
+		s.acts[l+1] = arena[off : off+out]
+		off += out
+		s.deltas[l] = arena[off : off+out]
+		off += out
+	}
+	return s
+}
+
+// output returns the sigmoid output of the last forward pass.
+func (s *scratch) output() float64 {
+	return s.acts[len(s.acts)-1][0]
+}
+
+// forward computes all layer activations into s; s.acts[0] aliases x.
+func (m *MLP) forward(x []float64, s *scratch) {
+	s.acts[0] = x
+	last := len(m.weights) - 1
 	for l := range m.weights {
-		in := acts[l]
-		out := make([]float64, len(m.weights[l]))
-		for o, row := range m.weights[l] {
-			z := m.biases[l][o]
+		in, out := s.acts[l], s.acts[l+1]
+		W, bias := m.weights[l], m.biases[l]
+		width := m.sizes[l]
+		for o := range out {
+			row := W[o*width : (o+1)*width]
+			z := bias[o]
 			for i, w := range row {
 				z += w * in[i]
 			}
-			if l == len(m.weights)-1 {
+			switch {
+			case l == last:
 				out[o] = sigmoid(z)
-			} else if z > 0 {
+			case z > 0:
 				out[o] = z
+			default:
+				out[o] = 0 // buffers are reused, so write the ReLU zero
 			}
 		}
-		acts[l+1] = out
 	}
-	return acts
 }
 
 func sigmoid(z float64) float64 {
@@ -141,16 +228,47 @@ func (m *MLP) PredictProba(x []float64) float64 {
 	if len(x) != m.inDim {
 		panic(fmt.Sprintf("model: input width %d, want %d", len(x), m.inDim))
 	}
-	acts := m.forward(x)
-	return acts[len(acts)-1][0]
+	s := m.newScratch()
+	m.forward(x, s)
+	return s.output()
 }
 
-// PredictBatch returns P(y = +1) for every row.
+// predictChunk is the batch size one PredictBatch work item scores with a
+// shared scratch; it amortizes scratch setup without starving the workers.
+const predictChunk = 64
+
+// PredictBatch returns P(y = +1) for every row, sharding the batch across
+// the model's configured workers.
 func (m *MLP) PredictBatch(X [][]float64) []float64 {
 	out := make([]float64, len(X))
-	for i, x := range X {
-		out[i] = m.PredictProba(x)
+	workers := m.resolveWorkers()
+	if workers <= 1 || len(X) <= predictChunk {
+		s := m.newScratch()
+		for i, x := range X {
+			m.forward(x, s)
+			out[i] = s.output()
+		}
+		return out
 	}
+	nChunks := (len(X) + predictChunk - 1) / predictChunk
+	chunks := make([]int, nChunks)
+	for c := range chunks {
+		chunks[c] = c
+	}
+	// The mapper writes disjoint slices of out and never errors.
+	_, _ = mapreduce.Map(nil, mapreduce.Config{Workers: workers}, chunks, func(c int) (struct{}, error) {
+		lo := c * predictChunk
+		hi := lo + predictChunk
+		if hi > len(X) {
+			hi = len(X)
+		}
+		s := m.newScratch()
+		for i := lo; i < hi; i++ {
+			m.forward(X[i], s)
+			out[i] = s.output()
+		}
+		return struct{}{}, nil
+	})
 	return out
 }
 
@@ -162,8 +280,9 @@ func (m *MLP) HiddenActivation(x []float64) []float64 {
 	if len(m.weights) == 1 {
 		return x
 	}
-	acts := m.forward(x)
-	return acts[len(acts)-2]
+	s := m.newScratch()
+	m.forward(x, s)
+	return s.acts[len(s.acts)-2]
 }
 
 // PredictFromHidden applies only the final prediction layer to a hidden
@@ -172,241 +291,8 @@ func (m *MLP) HiddenActivation(x []float64) []float64 {
 func (m *MLP) PredictFromHidden(h []float64) float64 {
 	l := len(m.weights) - 1
 	z := m.biases[l][0]
-	for i, w := range m.weights[l][0] {
+	for i, w := range m.weights[l][:m.sizes[l]] {
 		z += w * h[i]
 	}
 	return sigmoid(z)
-}
-
-// Train fits the network on rows X with soft targets in [0,1] (probabilistic
-// labels; hard labels are 0/1) and optional per-example weights (nil means
-// uniform). Uses Adam with minibatches and the noise-aware cross-entropy
-// whose gradient at the output is simply p - target.
-func Train(X [][]float64, targets []float64, sampleWeights []float64, cfg Config) (*MLP, error) {
-	if len(X) == 0 {
-		return nil, fmt.Errorf("model: no training data")
-	}
-	if len(targets) != len(X) {
-		return nil, fmt.Errorf("model: %d rows vs %d targets", len(X), len(targets))
-	}
-	if sampleWeights != nil && len(sampleWeights) != len(X) {
-		return nil, fmt.Errorf("model: %d rows vs %d weights", len(X), len(sampleWeights))
-	}
-	for i, t := range targets {
-		if t < 0 || t > 1 || math.IsNaN(t) {
-			return nil, fmt.Errorf("model: target[%d] = %v outside [0,1]", i, t)
-		}
-	}
-	cfg = cfg.withDefaults()
-	m, err := New(len(X[0]), cfg.Hidden, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	opt := newAdam(m, cfg.LearningRate)
-	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
-	order := make([]int, len(X))
-	for i := range order {
-		order[i] = i
-	}
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
-		for start := 0; start < len(order); start += cfg.BatchSize {
-			end := start + cfg.BatchSize
-			if end > len(order) {
-				end = len(order)
-			}
-			m.step(X, targets, sampleWeights, order[start:end], opt, cfg)
-		}
-	}
-	return m, nil
-}
-
-// step accumulates gradients over one minibatch and applies an Adam update.
-func (m *MLP) step(X [][]float64, targets, sampleWeights []float64, batch []int, opt *adam, cfg Config) {
-	gradW, gradB := opt.zeroedGrads()
-	var totalWeight float64
-	for _, idx := range batch {
-		x, target := X[idx], targets[idx]
-		w := 1.0
-		if sampleWeights != nil {
-			w = sampleWeights[idx]
-		}
-		// Noise-aware class weighting: weight by the target's positive
-		// mass rather than a hard label.
-		w *= 1 + (cfg.PositiveWeight-1)*target
-		if w == 0 {
-			continue
-		}
-		totalWeight += w
-		acts := m.forward(x)
-		// Output delta: dL/dz = p - target for sigmoid cross-entropy.
-		delta := []float64{(acts[len(acts)-1][0] - target) * w}
-		for l := len(m.weights) - 1; l >= 0; l-- {
-			in := acts[l]
-			for o, d := range delta {
-				gradB[l][o] += d
-				row := gradW[l][o]
-				for i, v := range in {
-					row[i] += d * v
-				}
-			}
-			if l == 0 {
-				break
-			}
-			// Backpropagate through the ReLU layer below.
-			prev := make([]float64, len(in))
-			for i := range prev {
-				if in[i] <= 0 {
-					continue // ReLU gradient is 0
-				}
-				var s float64
-				for o, d := range delta {
-					s += d * m.weights[l][o][i]
-				}
-				prev[i] = s
-			}
-			delta = prev
-		}
-	}
-	if totalWeight == 0 {
-		return
-	}
-	opt.apply(m, gradW, gradB, totalWeight, cfg.L2)
-}
-
-// adam holds Adam optimizer state matching the network's parameter shapes.
-type adam struct {
-	lr         float64
-	t          int
-	mW, vW     [][][]float64
-	mB, vB     [][]float64
-	gW         [][][]float64
-	gB         [][]float64
-	beta1      float64
-	beta2      float64
-	eps        float64
-	shapesFrom *MLP
-}
-
-func newAdam(m *MLP, lr float64) *adam {
-	a := &adam{lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, shapesFrom: m}
-	a.mW, a.mB = cloneShape(m)
-	a.vW, a.vB = cloneShape(m)
-	a.gW, a.gB = cloneShape(m)
-	return a
-}
-
-func cloneShape(m *MLP) ([][][]float64, [][]float64) {
-	W := make([][][]float64, len(m.weights))
-	B := make([][]float64, len(m.biases))
-	for l := range m.weights {
-		W[l] = make([][]float64, len(m.weights[l]))
-		for o := range W[l] {
-			W[l][o] = make([]float64, len(m.weights[l][o]))
-		}
-		B[l] = make([]float64, len(m.biases[l]))
-	}
-	return W, B
-}
-
-// zeroedGrads returns the optimizer's reusable gradient buffers, zeroed.
-func (a *adam) zeroedGrads() ([][][]float64, [][]float64) {
-	for l := range a.gW {
-		for o := range a.gW[l] {
-			row := a.gW[l][o]
-			for i := range row {
-				row[i] = 0
-			}
-		}
-		for o := range a.gB[l] {
-			a.gB[l][o] = 0
-		}
-	}
-	return a.gW, a.gB
-}
-
-func (a *adam) apply(m *MLP, gradW [][][]float64, gradB [][]float64, totalWeight, l2 float64) {
-	a.t++
-	c1 := 1 - math.Pow(a.beta1, float64(a.t))
-	c2 := 1 - math.Pow(a.beta2, float64(a.t))
-	for l := range m.weights {
-		for o := range m.weights[l] {
-			for i := range m.weights[l][o] {
-				g := gradW[l][o][i]/totalWeight + l2*m.weights[l][o][i]
-				a.mW[l][o][i] = a.beta1*a.mW[l][o][i] + (1-a.beta1)*g
-				a.vW[l][o][i] = a.beta2*a.vW[l][o][i] + (1-a.beta2)*g*g
-				m.weights[l][o][i] -= a.lr * (a.mW[l][o][i] / c1) / (math.Sqrt(a.vW[l][o][i]/c2) + a.eps)
-			}
-			g := gradB[l][o] / totalWeight
-			a.mB[l][o] = a.beta1*a.mB[l][o] + (1-a.beta1)*g
-			a.vB[l][o] = a.beta2*a.vB[l][o] + (1-a.beta2)*g*g
-			m.biases[l][o] -= a.lr * (a.mB[l][o] / c1) / (math.Sqrt(a.vB[l][o]/c2) + a.eps)
-		}
-	}
-}
-
-// Projection is a learned linear map between activation spaces — DeViSE's
-// projection layer P (paper §5, Figure 4).
-type Projection struct {
-	W [][]float64 // W[out][in]
-	b []float64
-}
-
-// FitProjection fits P minimizing mean squared error ||P(src) - dst||² by
-// gradient descent. src rows map to dst rows.
-func FitProjection(src, dst [][]float64, epochs int, lr float64, seed int64) (*Projection, error) {
-	if len(src) == 0 || len(src) != len(dst) {
-		return nil, fmt.Errorf("model: projection needs matched nonempty rows (%d vs %d)", len(src), len(dst))
-	}
-	inDim, outDim := len(src[0]), len(dst[0])
-	if epochs <= 0 {
-		epochs = 20
-	}
-	if lr <= 0 {
-		lr = 0.05
-	}
-	rng := rand.New(rand.NewSource(seed))
-	p := &Projection{W: make([][]float64, outDim), b: make([]float64, outDim)}
-	scale := math.Sqrt(1 / float64(inDim))
-	for o := range p.W {
-		p.W[o] = make([]float64, inDim)
-		for i := range p.W[o] {
-			p.W[o][i] = rng.NormFloat64() * scale
-		}
-	}
-	order := make([]int, len(src))
-	for i := range order {
-		order[i] = i
-	}
-	for e := 0; e < epochs; e++ {
-		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
-		for _, idx := range order {
-			x, y := src[idx], dst[idx]
-			for o := range p.W {
-				pred := p.b[o]
-				for i, w := range p.W[o] {
-					pred += w * x[i]
-				}
-				g := pred - y[o]
-				p.b[o] -= lr * g
-				for i := range p.W[o] {
-					p.W[o][i] -= lr * g * x[i]
-				}
-			}
-		}
-	}
-	return p, nil
-}
-
-// Apply maps one vector through the projection.
-func (p *Projection) Apply(x []float64) []float64 {
-	out := make([]float64, len(p.W))
-	for o := range p.W {
-		v := p.b[o]
-		for i, w := range p.W[o] {
-			v += w * x[i]
-		}
-		out[o] = v
-	}
-	return out
 }

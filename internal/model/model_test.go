@@ -240,7 +240,7 @@ func TestFitProjection(t *testing.T) {
 		src = append(src, x)
 		dst = append(dst, y)
 	}
-	p, err := FitProjection(src, dst, 40, 0.05, 1)
+	p, err := FitProjection(src, dst, 40, 0.05, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +256,7 @@ func TestFitProjection(t *testing.T) {
 	if mse > 0.01 {
 		t.Errorf("projection MSE = %.5f, want < 0.01", mse)
 	}
-	if _, err := FitProjection(nil, nil, 1, 1, 1); err == nil {
+	if _, err := FitProjection(nil, nil, 1, 1, 1, 1); err == nil {
 		t.Error("expected error for empty projection data")
 	}
 }

@@ -1,0 +1,119 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Projection is a learned linear map between activation spaces — DeViSE's
+// projection layer P (paper §5, Figure 4). Weights are stored flat
+// (row-major out×in) like the MLP engine's parameter arrays.
+type Projection struct {
+	w     []float64 // w[o*inDim+i]
+	b     []float64
+	inDim int
+}
+
+// FitProjection fits P minimizing mean squared error ||P(src) - dst||² by
+// per-sample gradient descent. src rows map to dst rows.
+//
+// Each output row's parameters evolve independently of every other row's,
+// so fitting shards the output rows into contiguous stripes processed by up
+// to workers goroutines (0 means GOMAXPROCS), each replaying the same
+// precomputed epoch orders with zero per-sample allocations. Results are
+// bit-for-bit identical for any worker count.
+func FitProjection(src, dst [][]float64, epochs int, lr float64, seed int64, workers int) (*Projection, error) {
+	if len(src) == 0 || len(src) != len(dst) {
+		return nil, fmt.Errorf("model: projection needs matched nonempty rows (%d vs %d)", len(src), len(dst))
+	}
+	inDim, outDim := len(src[0]), len(dst[0])
+	if epochs <= 0 {
+		epochs = 20
+	}
+	if lr <= 0 {
+		lr = 0.05
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := &Projection{w: make([]float64, outDim*inDim), b: make([]float64, outDim), inDim: inDim}
+	scale := math.Sqrt(1 / float64(inDim))
+	for j := range p.w {
+		p.w[j] = rng.NormFloat64() * scale
+	}
+	// Precompute the per-epoch sample orders once so every stripe replays
+	// the identical sequence.
+	order := make([]int, len(src))
+	for i := range order {
+		order[i] = i
+	}
+	orders := make([][]int, epochs)
+	for e := range orders {
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		orders[e] = append([]int(nil), order...)
+	}
+	fitStripe := func(lo, hi int) {
+		for _, epochOrder := range orders {
+			for _, idx := range epochOrder {
+				x, y := src[idx], dst[idx]
+				for o := lo; o < hi; o++ {
+					row := p.w[o*inDim : (o+1)*inDim]
+					pred := p.b[o]
+					for i, w := range row {
+						pred += w * x[i]
+					}
+					g := pred - y[o]
+					p.b[o] -= lr * g
+					for i := range row {
+						row[i] -= lr * g * x[i]
+					}
+				}
+			}
+		}
+	}
+	nStripes := workers
+	if nStripes <= 0 {
+		nStripes = defaultWorkers()
+	}
+	if nStripes > outDim {
+		nStripes = outDim
+	}
+	if nStripes <= 1 {
+		fitStripe(0, outDim)
+		return p, nil
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < nStripes; s++ {
+		lo, hi := s*outDim/nStripes, (s+1)*outDim/nStripes
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fitStripe(lo, hi)
+		}()
+	}
+	wg.Wait()
+	return p, nil
+}
+
+// Apply maps one vector through the projection.
+func (p *Projection) Apply(x []float64) []float64 {
+	out := make([]float64, len(p.b))
+	p.ApplyInto(x, out)
+	return out
+}
+
+// ApplyInto maps x through the projection into out, which must have the
+// projection's output width. It panics otherwise — a programming error.
+func (p *Projection) ApplyInto(x, out []float64) {
+	if len(out) != len(p.b) {
+		panic(fmt.Sprintf("model: ApplyInto output width %d, want %d", len(out), len(p.b)))
+	}
+	for o := range out {
+		row := p.w[o*p.inDim : (o+1)*p.inDim]
+		v := p.b[o]
+		for i, w := range row {
+			v += w * x[i]
+		}
+		out[o] = v
+	}
+}

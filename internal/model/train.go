@@ -1,0 +1,298 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// numGradShards is the fixed number of per-minibatch gradient accumulators.
+// It is deliberately independent of Config.Workers: each shard covers a
+// fixed contiguous slice of the batch and the shards merge in index order,
+// so the float additions performed are the same whether one goroutine
+// processes all shards or eight process one each — bit-for-bit determinism
+// for a given seed at any worker count. It also caps per-step parallelism.
+const numGradShards = 8
+
+// gradShard is one accumulator: a gradient buffer with the same flat layout
+// as MLP.params, the shard's sample-weight subtotal, and a scratch arena for
+// forward/backward passes. All of it is allocated once per training run.
+type gradShard struct {
+	grad  []float64
+	total float64
+	fresh bool // true until the first sample writes the buffer this step
+	scr   *scratch
+}
+
+// trainer is the data-parallel minibatch engine. With more than one worker
+// it keeps a persistent goroutine pool fed by an unbuffered shard-index
+// channel, so a steady-state step performs zero heap allocations.
+type trainer struct {
+	m      *MLP
+	opt    *adam
+	cfg    Config
+	shards [numGradShards]gradShard
+
+	nWorkers int
+	work     chan int       // shard indices for the in-flight step
+	wg       sync.WaitGroup // completion of the in-flight step
+	active   [numGradShards][]float64 // backing array for the per-step active-shard list
+
+	// In-flight minibatch, published to workers via the work channel.
+	X             [][]float64
+	targets       []float64
+	sampleWeights []float64
+	batch         []int
+}
+
+func newTrainer(m *MLP, cfg Config) *trainer {
+	t := &trainer{m: m, opt: newAdam(m, cfg.LearningRate), cfg: cfg}
+	for s := range t.shards {
+		t.shards[s].grad = make([]float64, len(m.params))
+		t.shards[s].scr = m.newScratch()
+	}
+	t.nWorkers = cfg.Workers
+	if t.nWorkers <= 0 {
+		t.nWorkers = m.resolveWorkers()
+	}
+	if t.nWorkers > numGradShards {
+		t.nWorkers = numGradShards
+	}
+	if t.nWorkers > 1 {
+		t.work = make(chan int)
+		for w := 0; w < t.nWorkers; w++ {
+			go func() {
+				for s := range t.work {
+					t.runShard(s)
+					t.wg.Done()
+				}
+			}()
+		}
+	}
+	return t
+}
+
+// close releases the worker pool.
+func (t *trainer) close() {
+	if t.work != nil {
+		close(t.work)
+		t.work = nil
+	}
+}
+
+// step accumulates gradients over one minibatch, shard-parallel, then merges
+// them in fixed shard order and applies a single Adam update.
+func (t *trainer) step(X [][]float64, targets, sampleWeights []float64, batch []int) {
+	t.X, t.targets, t.sampleWeights, t.batch = X, targets, sampleWeights, batch
+	if t.work == nil {
+		for s := range t.shards {
+			t.runShard(s)
+		}
+	} else {
+		t.wg.Add(numGradShards)
+		for s := 0; s < numGradShards; s++ {
+			t.work <- s
+		}
+		t.wg.Wait()
+	}
+
+	// Gather the contributing shards in shard order (fixed regardless of
+	// which worker ran what); the optimizer sums them on the fly, so the
+	// merged gradient is never materialized.
+	bufs := t.active[:0]
+	var totalWeight float64
+	for s := range t.shards {
+		sh := &t.shards[s]
+		if sh.total == 0 {
+			continue // no contributing samples this step
+		}
+		totalWeight += sh.total
+		bufs = append(bufs, sh.grad)
+	}
+	if totalWeight == 0 {
+		return
+	}
+	t.opt.apply(t.m, bufs, totalWeight, t.cfg.L2)
+}
+
+// runShard zeroes shard s and accumulates its slice of the current batch:
+// samples [s·n/S, (s+1)·n/S) for batch length n and S shards.
+func (t *trainer) runShard(s int) {
+	sh := &t.shards[s]
+	sh.total = 0
+	sh.fresh = true // the first sample overwrites instead of zero+add
+	n := len(t.batch)
+	lo, hi := s*n/numGradShards, (s+1)*n/numGradShards
+	if lo == hi {
+		return // empty shard; merge skips it via total == 0
+	}
+	for _, idx := range t.batch[lo:hi] {
+		x, target := t.X[idx], t.targets[idx]
+		w := 1.0
+		if t.sampleWeights != nil {
+			w = t.sampleWeights[idx]
+		}
+		// Noise-aware class weighting: weight by the target's positive
+		// mass rather than a hard label.
+		w *= 1 + (t.cfg.PositiveWeight-1)*target
+		if w == 0 {
+			continue
+		}
+		sh.total += w
+		t.accumulate(sh, x, target, w)
+		sh.fresh = false
+	}
+}
+
+// accumulate backpropagates one sample into the shard's gradient buffer.
+// All intermediates live in the shard's scratch arena — no allocations. A
+// sample's gradient is dense over every parameter, so the shard's first
+// sample overwrites the buffer (sparing a zeroing pass) and later ones add.
+func (t *trainer) accumulate(sh *gradShard, x []float64, target, w float64) {
+	m := t.m
+	s := sh.scr
+	m.forward(x, s)
+	L := len(m.weights)
+	// Output delta: dL/dz = p - target for sigmoid cross-entropy.
+	s.deltas[L-1][0] = (s.output() - target) * w
+	for l := L - 1; l >= 0; l-- {
+		in := s.acts[l]
+		delta := s.deltas[l]
+		width := m.sizes[l]
+		gW := sh.grad[m.wOff[l] : m.wOff[l]+width*len(delta)]
+		gB := sh.grad[m.bOff[l] : m.bOff[l]+len(delta)]
+		if sh.fresh {
+			for o, d := range delta {
+				gB[o] = d
+				row := gW[o*width : (o+1)*width]
+				for i, v := range in {
+					row[i] = d * v
+				}
+			}
+		} else {
+			for o, d := range delta {
+				gB[o] += d
+				row := gW[o*width : (o+1)*width]
+				for i, v := range in {
+					row[i] += d * v
+				}
+			}
+		}
+		if l == 0 {
+			break
+		}
+		// Backpropagate through the ReLU layer below.
+		W := m.weights[l]
+		prev := s.deltas[l-1]
+		for i := range prev {
+			if in[i] <= 0 {
+				prev[i] = 0 // ReLU gradient is 0; buffer is reused
+				continue
+			}
+			var sum float64
+			for o, d := range delta {
+				sum += d * W[o*width+i]
+			}
+			prev[i] = sum
+		}
+	}
+}
+
+// Train fits the network on rows X with soft targets in [0,1] (probabilistic
+// labels; hard labels are 0/1) and optional per-example weights (nil means
+// uniform). Uses Adam with minibatches and the noise-aware cross-entropy
+// whose gradient at the output is simply p - target. Minibatches are
+// gradient-sharded across cfg.Workers goroutines; the result is identical
+// for any worker count.
+func Train(X [][]float64, targets []float64, sampleWeights []float64, cfg Config) (*MLP, error) {
+	if len(X) == 0 {
+		return nil, fmt.Errorf("model: no training data")
+	}
+	if len(targets) != len(X) {
+		return nil, fmt.Errorf("model: %d rows vs %d targets", len(X), len(targets))
+	}
+	if sampleWeights != nil && len(sampleWeights) != len(X) {
+		return nil, fmt.Errorf("model: %d rows vs %d weights", len(X), len(sampleWeights))
+	}
+	for i, t := range targets {
+		if t < 0 || t > 1 || math.IsNaN(t) {
+			return nil, fmt.Errorf("model: target[%d] = %v outside [0,1]", i, t)
+		}
+	}
+	cfg = cfg.withDefaults()
+	m, err := New(len(X[0]), cfg.Hidden, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	m.workers = cfg.Workers
+	t := newTrainer(m, cfg)
+	defer t.close()
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
+	order := make([]int, len(X))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			t.step(X, targets, sampleWeights, order[start:end])
+		}
+	}
+	return m, nil
+}
+
+// adam holds Adam optimizer state in flat arrays mirroring MLP.params.
+type adam struct {
+	lr    float64
+	t     int
+	m, v  []float64 // first and second moments
+	beta1 float64
+	beta2 float64
+	eps   float64
+}
+
+func newAdam(net *MLP, lr float64) *adam {
+	n := len(net.params)
+	return &adam{
+		lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8,
+		m: make([]float64, n), v: make([]float64, n),
+	}
+}
+
+// apply performs one Adam update from the shard gradient buffers, summing
+// them per parameter in shard order as it sweeps. Weight spans get L2 decay;
+// bias spans do not.
+func (a *adam) apply(net *MLP, bufs [][]float64, totalWeight, l2 float64) {
+	a.t++
+	c1 := 1 - math.Pow(a.beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.beta2, float64(a.t))
+	for l := range net.weights {
+		a.span(net, bufs, totalWeight, net.wOff[l], net.wOff[l]+len(net.weights[l]), l2, c1, c2)
+		a.span(net, bufs, totalWeight, net.bOff[l], net.bOff[l]+len(net.biases[l]), 0, c1, c2)
+	}
+}
+
+// span updates params[lo:hi]; l2 == 0 skips the decay term entirely (biases)
+// so the math matches the unregularized bias update exactly.
+func (a *adam) span(net *MLP, bufs [][]float64, totalWeight float64, lo, hi int, l2, c1, c2 float64) {
+	p := net.params
+	head, rest := bufs[0], bufs[1:]
+	for j := lo; j < hi; j++ {
+		g := head[j]
+		for _, b := range rest {
+			g += b[j]
+		}
+		g /= totalWeight
+		if l2 != 0 {
+			g += l2 * p[j]
+		}
+		a.m[j] = a.beta1*a.m[j] + (1-a.beta1)*g
+		a.v[j] = a.beta2*a.v[j] + (1-a.beta2)*g*g
+		p[j] -= a.lr * (a.m[j] / c1) / (math.Sqrt(a.v[j]/c2) + a.eps)
+	}
+}
