@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test build bench race
+.PHONY: check test build bench bench-json race
 
 ## check: tier-1 gate — build everything, run every test.
 check:
@@ -18,6 +18,15 @@ test:
 bench:
 	$(GO) test ./internal/model/ -run xxx -bench 'BenchmarkModelTrain|BenchmarkPredictBatch' -benchmem
 	$(GO) test . -run xxx -bench 'BenchmarkTable1|BenchmarkPipelineRun' -benchmem -benchtime 3x
+
+## bench-json: snapshot the curation-path benchmarks (similarity kernel,
+## graph construction, propagation, full pipeline) as machine-readable JSON
+## for cross-commit comparison.
+bench-json:
+	( $(GO) test ./internal/feature/ -run xxx -bench 'BenchmarkWeightedSimilarity|BenchmarkSimKernelWeighted|BenchmarkJaccard' -benchmem ; \
+	  $(GO) test ./internal/labelprop/ -run xxx -bench 'BenchmarkBuildGraph|BenchmarkPropagate' -benchmem ; \
+	  $(GO) test . -run xxx -bench 'BenchmarkPipelineRun' -benchmem -benchtime 3x ) \
+	| $(GO) run ./cmd/benchjson -o BENCH_curation.json
 
 ## race: race-detector pass over the concurrent packages (training engine,
 ## mapreduce, label propagation, feature encoding).

@@ -7,6 +7,7 @@
 //
 //	crossmodal [-task CT1] [-scale 1.0] [-seed 17] [-fusion early|intermediate|devise]
 //	           [-no-labelprop] [-expert-lfs] [-workers N] [-v]
+//	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"crossmodal/internal/core"
 	"crossmodal/internal/metrics"
 	"crossmodal/internal/model"
+	"crossmodal/internal/profiling"
 	"crossmodal/internal/resource"
 	"crossmodal/internal/synth"
 )
@@ -36,9 +38,18 @@ func main() {
 		expertLFs   = flag.Bool("expert-lfs", false, "use simulated-expert LFs instead of mining")
 		workers     = flag.Int("workers", 0, "worker goroutines per parallel stage (0 = GOMAXPROCS)")
 		verbose     = flag.Bool("v", false, "print per-LF development statistics")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf     = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := run(*taskName, *scale, *seed, *fusionKind, *noLabelProp, *expertLFs, *workers, *verbose); err != nil {
+		log.Fatal(err)
+	}
+	if err := stopProf(); err != nil {
 		log.Fatal(err)
 	}
 }

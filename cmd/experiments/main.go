@@ -7,6 +7,7 @@
 //
 //	experiments [-run all|table1|table2|table3|figure5|figure6|figure7|fusion|lfgen|rawvsfeat]
 //	            [-scale 1.0] [-seed 17] [-tasks CT1,CT2,...] [-o out.md]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -scale shrinks every corpus for fast smoke runs; the headline numbers use
 // scale 1.0 (see EXPERIMENTS.md).
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"crossmodal/internal/experiments"
+	"crossmodal/internal/profiling"
 )
 
 func main() {
@@ -35,8 +37,15 @@ func main() {
 		tasks   = flag.String("tasks", "", "comma-separated task subset (default: all five)")
 		out     = flag.String("o", "", "output file (default stdout)")
 		workers = flag.Int("workers", 0, "worker goroutines per parallel stage (0 = GOMAXPROCS)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	w := io.Writer(os.Stdout)
 	if *out != "" {
@@ -62,6 +71,9 @@ func main() {
 	}
 	ctx := context.Background()
 	if err := dispatch(ctx, w, suite, *run, taskList, *scale); err != nil {
+		log.Fatal(err)
+	}
+	if err := stopProf(); err != nil {
 		log.Fatal(err)
 	}
 }

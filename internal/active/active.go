@@ -19,6 +19,7 @@ import (
 	"crossmodal/internal/fusion"
 	"crossmodal/internal/metrics"
 	"crossmodal/internal/synth"
+	"crossmodal/internal/xrand"
 )
 
 // Strategy selects which unreviewed points are sent to human review.
@@ -120,7 +121,7 @@ func Run(ctx context.Context, pipe *core.Pipeline, cur *core.Curation, pool, tes
 	}
 	res := &Result{Initial: metrics.AUPRC(testLabels, predictor.PredictBatch(testVecs))}
 
-	rng := rand.New(rand.NewSource(cfg.Seed ^ 0xac71))
+	rng := xrand.New(cfg.Seed ^ 0xac71)
 	reviewed := make(map[int]bool, cfg.Rounds*cfg.BatchSize)
 	var reviewedVecs []*feature.Vector
 	var reviewedTargets, reviewedWeights []float64

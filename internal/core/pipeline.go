@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"sort"
 	"time"
 
@@ -18,6 +17,7 @@ import (
 	"crossmodal/internal/model"
 	"crossmodal/internal/resource"
 	"crossmodal/internal/synth"
+	"crossmodal/internal/xrand"
 )
 
 // Pipeline is the cross-modal adaptation pipeline bound to an
@@ -346,7 +346,7 @@ func (p *Pipeline) buildLFs(ctx context.Context, devVecs []*feature.Vector, devL
 	switch p.opts.LFSource {
 	case ExpertLFs:
 		expert := lf.DefaultExpert()
-		rng := rand.New(rand.NewSource(p.opts.Seed ^ 0xe4be27))
+		rng := xrand.New(p.opts.Seed ^ 0xe4be27)
 		lfs, err := expert.Develop(devVecs, devLabels, rng)
 		if err != nil {
 			return nil, mining.Report{}, fmt.Errorf("core: expert LFs: %w", err)
@@ -366,7 +366,7 @@ func (p *Pipeline) buildLFs(ctx context.Context, devVecs []*feature.Vector, devL
 // held-out text, and appends the resulting score LF to the image matrix.
 func (p *Pipeline) propagate(ctx context.Context, textVecs []*feature.Vector, textLabels []int8, imageVecs []*feature.Vector, matrix, devMatrix *lf.Matrix) (labelprop.Cuts, int, error) {
 	gSchema := p.graphSchema()
-	rng := rand.New(rand.NewSource(p.opts.Seed ^ 0x9a6b))
+	rng := xrand.New(p.opts.Seed ^ 0x9a6b)
 	perm := rng.Perm(len(textVecs))
 	nSeeds := min(p.opts.MaxGraphSeeds, len(perm))
 	nDev := min(p.opts.GraphDevNodes, len(perm)-nSeeds)

@@ -2,12 +2,12 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 
 	"crossmodal/internal/feature"
 	"crossmodal/internal/metrics"
 	"crossmodal/internal/model"
 	"crossmodal/internal/tuner"
+	"crossmodal/internal/xrand"
 )
 
 // TuneResult is the outcome of end-model hyperparameter tuning.
@@ -35,7 +35,7 @@ func (p *Pipeline) TuneModel(cur *Curation, spec TrainSpec, trials int, seed int
 		return TuneResult{}, fmt.Errorf("core: labeled corpus too small to tune (%d points)", len(cur.TextVecs))
 	}
 	// Hold out 25% of the labeled text corpus for validation.
-	rng := rand.New(rand.NewSource(seed ^ 0x7e57))
+	rng := xrand.New(seed ^ 0x7e57)
 	perm := rng.Perm(len(cur.TextVecs))
 	cutoff := len(perm) * 3 / 4
 	trainCur := *cur

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"math/rand"
 
 	"crossmodal/internal/core"
 	"crossmodal/internal/labelmodel"
@@ -15,6 +14,7 @@ import (
 	"crossmodal/internal/model"
 	"crossmodal/internal/resource"
 	"crossmodal/internal/synth"
+	"crossmodal/internal/xrand"
 )
 
 func auprcOf(labels []int8, scores []float64) float64 {
@@ -121,7 +121,7 @@ func (s *Suite) LFGeneration(ctx context.Context, taskName string) ([]LFGenResul
 		case "expert":
 			expert := lf.DefaultExpert()
 			examined = expert.SampleSize
-			rng := rand.New(rand.NewSource(s.cfg.Seed ^ 0xe4be27))
+			rng := xrand.New(s.cfg.Seed ^ 0xe4be27)
 			authored, err := expert.Develop(textVecs, cur.TextLabels, rng)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: expert LFs: %w", err)

@@ -200,6 +200,12 @@ type Value struct {
 	Num        float64   // Numeric payload.
 	Vec        []float64 // Embedding payload.
 	Missing    bool
+
+	// catIDs caches Categories as sorted, deduplicated intern IDs; filled
+	// when the value enters a Vector (Vector.Set) so the similarity hot
+	// path intersects integer sets instead of hashing strings. Categories
+	// must not be mutated after Set, or the cache goes stale.
+	catIDs []uint32
 }
 
 // CategoricalValue returns a present categorical value with the given
@@ -261,6 +267,12 @@ func (v *Vector) Set(name string, val Value) error {
 		if d.Kind == Embedding && len(val.Vec) != d.Dim {
 			return fmt.Errorf("feature: embedding %q wants dim %d, got %d", name, d.Dim, len(val.Vec))
 		}
+		// Vectorize time is when categorical values are interned: every
+		// vector-borne value carries its ID set from here on, so pairwise
+		// similarity never touches the strings again.
+		if d.Kind == Categorical && val.catIDs == nil {
+			val.catIDs = internCategories(val.Categories)
+		}
 	}
 	v.values[i] = val
 	return nil
@@ -305,6 +317,10 @@ func (v *Vector) Clone() *Vector {
 		cp := val
 		if val.Categories != nil {
 			cp.Categories = append([]string(nil), val.Categories...)
+			// The copy owns its categories and may mutate them, which
+			// would stale a shared intern cache; drop it and let Set (or
+			// the string fallback) rebuild on demand.
+			cp.catIDs = nil
 		}
 		if val.Vec != nil {
 			cp.Vec = append([]float64(nil), val.Vec...)
@@ -343,27 +359,52 @@ func (v *Vector) String() string {
 	return b.String()
 }
 
-// Jaccard returns the Jaccard similarity |a∩b| / |a∪b| of two category sets.
-// Two empty sets are defined to have similarity 1.
+// Jaccard returns the Jaccard similarity |a∩b| / |a∪b| of two category sets
+// (duplicates collapse). Two empty sets are defined to have similarity 1.
+// Category sets are tiny, so quadratic in-place scans beat a hash map and
+// allocate nothing; interned values take the sorted-merge JaccardIDs path
+// instead.
 func Jaccard(a, b []string) float64 {
-	if len(a) == 0 && len(b) == 0 {
-		return 1
-	}
-	seen := make(map[string]uint8, len(a)+len(b))
-	for _, s := range a {
-		seen[s] |= 1
-	}
-	for _, s := range b {
-		seen[s] |= 2
-	}
 	inter, union := 0, 0
-	for _, bits := range seen {
+	for i, s := range a {
+		if containsBefore(a, i, s) {
+			continue // duplicate within a
+		}
 		union++
-		if bits == 3 {
+		if contains(b, s) {
 			inter++
 		}
 	}
+	for i, s := range b {
+		if containsBefore(b, i, s) {
+			continue // duplicate within b
+		}
+		if !contains(a, s) {
+			union++
+		}
+	}
+	if union == 0 {
+		return 1
+	}
 	return float64(inter) / float64(union)
+}
+
+func contains(set []string, s string) bool {
+	for _, t := range set {
+		if t == s {
+			return true
+		}
+	}
+	return false
+}
+
+func containsBefore(set []string, i int, s string) bool {
+	for _, t := range set[:i] {
+		if t == s {
+			return true
+		}
+	}
+	return false
 }
 
 // NumericSimilarity maps an absolute difference to (0, 1] using the feature's
@@ -450,7 +491,7 @@ func Similarity(a, b *Vector, i int, scales Scales) (float64, bool) {
 	d := a.schema.defs[i]
 	switch d.Kind {
 	case Categorical:
-		return Jaccard(av.Categories, bv.Categories), true
+		return categoricalSimilarity(&av, &bv), true
 	case Numeric:
 		return NumericSimilarity(av.Num, bv.Num, scales[d.Name]), true
 	case Embedding:

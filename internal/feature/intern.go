@@ -1,0 +1,179 @@
+package feature
+
+import "sync"
+
+// The category interner maps category strings to dense uint32 IDs so the
+// similarity hot path can intersect categorical sets by integer merge
+// instead of hashing strings into a per-pair map. The table is process-wide
+// rather than per-Schema: IDs are then stable across Reproject/Clone (which
+// carry values between schemas), and a value interned once never needs
+// re-interning. Only ID *equality* is ever consulted — Jaccard depends on
+// intersection/union counts, not ID order — so the assignment order being
+// scheduling-dependent under parallel featurization cannot leak into
+// results.
+var interner = struct {
+	sync.RWMutex
+	ids map[string]uint32
+}{ids: make(map[string]uint32, 256)}
+
+// internID returns the dense ID of category c, assigning the next free ID
+// on first sight. Safe for concurrent use; the read path is an RLock, so
+// steady-state featurization only shares the lock.
+func internID(c string) uint32 {
+	interner.RLock()
+	id, ok := interner.ids[c]
+	interner.RUnlock()
+	if ok {
+		return id
+	}
+	interner.Lock()
+	defer interner.Unlock()
+	if id, ok = interner.ids[c]; ok {
+		return id
+	}
+	id = uint32(len(interner.ids))
+	interner.ids[c] = id
+	return id
+}
+
+// internCategories returns the sorted, deduplicated intern IDs of cats, or
+// nil when cats is empty. Category sets are tiny (a handful of values), so
+// an insertion sort beats sort.Slice and allocates nothing beyond the
+// result.
+func internCategories(cats []string) []uint32 {
+	if len(cats) == 0 {
+		return nil
+	}
+	ids := make([]uint32, len(cats))
+	for i, c := range cats {
+		ids[i] = internID(c)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	// Dedupe in place (multisets collapse to sets, matching Jaccard).
+	out := ids[:1]
+	for _, id := range ids[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// JaccardIDs returns the Jaccard similarity of two sorted, deduplicated
+// intern-ID sets by allocation-free sorted merge. Two empty sets have
+// similarity 1, mirroring Jaccard.
+func JaccardIDs(a, b []uint32) float64 {
+	i, j, inter := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// SimKernel is a compiled similarity kernel for one schema: feature kinds,
+// numeric scales, and importance weights resolved from their name-keyed
+// maps into index-aligned slices once, so the per-pair path performs no map
+// lookups and no allocations. Build one per graph-construction or
+// weight-fitting call; all vectors scored by the kernel must carry the
+// kernel's schema.
+type SimKernel struct {
+	kinds   []Kind
+	scales  []float64 // per feature index; <= 0 falls back to 1 (NumericSimilarity)
+	weights []float64 // per feature index; <= 0 drops the feature
+}
+
+// NewSimKernel compiles scales and weights against schema. nil weights mean
+// uniform weight 1, matching WeightedSimilarity.
+func NewSimKernel(schema *Schema, scales Scales, weights Weights) *SimKernel {
+	n := schema.Len()
+	k := &SimKernel{
+		kinds:   make([]Kind, n),
+		scales:  make([]float64, n),
+		weights: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		d := schema.Def(i)
+		k.kinds[i] = d.Kind
+		k.scales[i] = scales[d.Name]
+		w := 1.0
+		if weights != nil {
+			if got, exists := weights[d.Name]; exists {
+				w = got
+			}
+		}
+		k.weights[i] = w
+	}
+	return k
+}
+
+// Similarity is the kernel form of the package-level Similarity: the [0,1]
+// contribution of feature position i between two vectors, and false when
+// the feature is missing on either side.
+func (k *SimKernel) Similarity(a, b *Vector, i int) (float64, bool) {
+	av, bv := &a.values[i], &b.values[i]
+	if av.Missing || bv.Missing {
+		return 0, false
+	}
+	switch k.kinds[i] {
+	case Categorical:
+		return categoricalSimilarity(av, bv), true
+	case Numeric:
+		return NumericSimilarity(av.Num, bv.Num, k.scales[i]), true
+	case Embedding:
+		return (CosineSimilarity(av.Vec, bv.Vec) + 1) / 2, true
+	default:
+		return 0, false
+	}
+}
+
+// Weighted is the kernel form of WeightedSimilarity: the weighted mean of
+// per-feature similarities over features present on both sides. It performs
+// no allocations and no map lookups per pair, and returns bit-identical
+// results to WeightedSimilarity with the maps the kernel was compiled from.
+func (k *SimKernel) Weighted(a, b *Vector) float64 {
+	var sum, wsum float64
+	for i := range k.kinds {
+		w := k.weights[i]
+		if w <= 0 {
+			continue
+		}
+		s, ok := k.Similarity(a, b, i)
+		if !ok {
+			continue
+		}
+		sum += w * s
+		wsum += w
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return sum / wsum
+}
+
+// categoricalSimilarity intersects two categorical values, preferring the
+// interned-ID merge and falling back to the string kernel for values that
+// never passed through Vector.Set (hand-built Values in tests).
+func categoricalSimilarity(av, bv *Value) float64 {
+	if (av.catIDs != nil || len(av.Categories) == 0) &&
+		(bv.catIDs != nil || len(bv.Categories) == 0) {
+		return JaccardIDs(av.catIDs, bv.catIDs)
+	}
+	return Jaccard(av.Categories, bv.Categories)
+}

@@ -1,0 +1,229 @@
+package feature
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// mapJaccard is the pre-interning map-based implementation, kept verbatim as
+// the reference the optimized kernels must match exactly.
+func mapJaccard(a, b []string) float64 {
+	set := make(map[string]int8)
+	for _, c := range a {
+		set[c] |= 1
+	}
+	for _, c := range b {
+		set[c] |= 2
+	}
+	if len(set) == 0 {
+		return 1
+	}
+	inter := 0
+	for _, m := range set {
+		if m == 3 {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(set))
+}
+
+func randomCategories(rng *rand.Rand, pool int) []string {
+	n := rng.Intn(6)
+	if n == 0 && rng.Intn(4) > 0 {
+		return nil
+	}
+	cats := make([]string, n)
+	for i := range cats {
+		// Small pool so duplicates within and across sets are common.
+		cats[i] = fmt.Sprintf("c%d", rng.Intn(pool))
+	}
+	return cats
+}
+
+// TestJaccardMatchesMapReference property-tests the allocation-free string
+// Jaccard and the interned-ID merge against the original map-based
+// implementation. Equality must be exact: both compute the same
+// intersection/union counts and the same final division.
+func TestJaccardMatchesMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 5000; trial++ {
+		a := randomCategories(rng, 8)
+		b := randomCategories(rng, 8)
+		want := mapJaccard(a, b)
+		if got := Jaccard(a, b); got != want {
+			t.Fatalf("Jaccard(%v, %v) = %v, map reference %v", a, b, got, want)
+		}
+		if got := JaccardIDs(internCategories(a), internCategories(b)); got != want {
+			t.Fatalf("JaccardIDs(%v, %v) = %v, map reference %v", a, b, got, want)
+		}
+	}
+}
+
+func internTestSchema(t *testing.T) *Schema {
+	t.Helper()
+	return MustSchema(
+		Def{Name: "cat", Kind: Categorical},
+		Def{Name: "tags", Kind: Categorical},
+		Def{Name: "num", Kind: Numeric},
+		Def{Name: "emb", Kind: Embedding, Dim: 8},
+	)
+}
+
+func randomVector(t *testing.T, rng *rand.Rand, schema *Schema) *Vector {
+	t.Helper()
+	v := NewVector(schema)
+	if rng.Intn(5) > 0 {
+		v.MustSet("cat", CategoricalValue(randomCategories(rng, 8)...))
+	}
+	if rng.Intn(5) > 0 {
+		v.MustSet("tags", CategoricalValue(randomCategories(rng, 20)...))
+	}
+	if rng.Intn(5) > 0 {
+		v.MustSet("num", NumericValue(rng.NormFloat64()*3))
+	}
+	if rng.Intn(5) > 0 {
+		emb := make([]float64, 8)
+		for i := range emb {
+			emb[i] = rng.NormFloat64()
+		}
+		v.MustSet("emb", EmbeddingValue(emb))
+	}
+	return v
+}
+
+// TestSimKernelMatchesWeightedSimilarity checks the compiled kernel is
+// bit-identical to the map-keyed WeightedSimilarity for random vectors,
+// scales, and weights (including absent, zero, and negative weights).
+func TestSimKernelMatchesWeightedSimilarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	schema := internTestSchema(t)
+	for trial := 0; trial < 2000; trial++ {
+		scales := Scales{"num": rng.Float64() * 3}
+		var weights Weights
+		switch rng.Intn(3) {
+		case 1:
+			weights = Weights{"cat": rng.Float64() * 2, "num": rng.Float64()*2 - 0.5}
+		case 2:
+			weights = Weights{"tags": 0, "emb": rng.Float64() * 2}
+		}
+		kern := NewSimKernel(schema, scales, weights)
+		a, b := randomVector(t, rng, schema), randomVector(t, rng, schema)
+		want := WeightedSimilarity(a, b, scales, weights)
+		if got := kern.Weighted(a, b); got != want {
+			t.Fatalf("trial %d: kernel %v != WeightedSimilarity %v (weights %v)", trial, got, want, weights)
+		}
+		for i := 0; i < schema.Len(); i++ {
+			ws, wok := Similarity(a, b, i, scales)
+			ks, kok := kern.Similarity(a, b, i)
+			if ws != ks || wok != kok {
+				t.Fatalf("trial %d feature %d: kernel (%v,%v) != Similarity (%v,%v)", trial, i, ks, kok, ws, wok)
+			}
+		}
+	}
+}
+
+// TestSimilarityPairAllocFree pins the per-pair hot path at zero allocations:
+// the string Jaccard, the interned kernel, and full weighted similarity in
+// both its map-keyed and compiled forms.
+func TestSimilarityPairAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	schema := internTestSchema(t)
+	a, b := randomVector(t, rng, schema), randomVector(t, rng, schema)
+	a.MustSet("cat", CategoricalValue("x", "y", "z"))
+	b.MustSet("cat", CategoricalValue("y", "z", "w"))
+	scales := Scales{"num": 2}
+	weights := Weights{"cat": 2, "num": 0.5}
+	kern := NewSimKernel(schema, scales, weights)
+	cats := []string{"x", "y", "x"}
+	for name, fn := range map[string]func(){
+		"Jaccard":            func() { Jaccard(cats, cats) },
+		"JaccardIDs":         func() { JaccardIDs(a.values[0].catIDs, b.values[0].catIDs) },
+		"WeightedSimilarity": func() { WeightedSimilarity(a, b, scales, weights) },
+		"SimKernel.Weighted": func() { kern.Weighted(a, b) },
+	} {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s: %v allocs per pair, want 0", name, allocs)
+		}
+	}
+}
+
+// TestInternedValueCopySemantics checks the copy paths keep the intern cache
+// coherent: Reproject shares the (immutable) payload and keeps the IDs, while
+// Clone hands out mutable categories and so must drop the cache rather than
+// risk it going stale.
+func TestInternedValueCopySemantics(t *testing.T) {
+	schema := internTestSchema(t)
+	v := NewVector(schema)
+	v.MustSet("cat", CategoricalValue("x", "y"))
+	if v.values[0].catIDs == nil {
+		t.Fatal("Set did not intern categories")
+	}
+	onlyCat := schema.Project(func(d Def) bool { return d.Name == "cat" })
+	if got := v.Reproject(onlyCat).values[0].catIDs; got == nil {
+		t.Error("Reproject dropped interned IDs")
+	}
+	c := v.Clone()
+	if c.values[0].catIDs != nil {
+		t.Error("Clone kept a cache its mutable categories can stale")
+	}
+	c.values[0].Categories[0] = "mutated"
+	want := Jaccard(c.values[0].Categories, v.values[0].Categories)
+	if got := categoricalSimilarity(&c.values[0], &v.values[0]); got != want {
+		t.Errorf("mutated clone similarity %v, want string-path %v", got, want)
+	}
+}
+
+func benchVectors(b *testing.B) (*Vector, *Vector, Scales, Weights) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(53))
+	schema := MustSchema(
+		Def{Name: "cat", Kind: Categorical},
+		Def{Name: "tags", Kind: Categorical},
+		Def{Name: "num", Kind: Numeric},
+		Def{Name: "emb", Kind: Embedding, Dim: 16},
+	)
+	mk := func() *Vector {
+		v := NewVector(schema)
+		v.MustSet("cat", CategoricalValue(fmt.Sprintf("c%d", rng.Intn(8))))
+		v.MustSet("tags", CategoricalValue(
+			fmt.Sprintf("t%d", rng.Intn(30)), fmt.Sprintf("t%d", rng.Intn(30)), fmt.Sprintf("t%d", rng.Intn(30))))
+		v.MustSet("num", NumericValue(rng.NormFloat64()*3))
+		emb := make([]float64, 16)
+		for i := range emb {
+			emb[i] = rng.NormFloat64()
+		}
+		v.MustSet("emb", EmbeddingValue(emb))
+		return v
+	}
+	return mk(), mk(), Scales{"num": 2}, Weights{"cat": 1.5, "tags": 0.8}
+}
+
+func BenchmarkWeightedSimilarity(b *testing.B) {
+	va, vb, scales, weights := benchVectors(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		WeightedSimilarity(va, vb, scales, weights)
+	}
+}
+
+func BenchmarkSimKernelWeighted(b *testing.B) {
+	va, vb, scales, weights := benchVectors(b)
+	kern := NewSimKernel(va.Schema(), scales, weights)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kern.Weighted(va, vb)
+	}
+}
+
+func BenchmarkJaccard(b *testing.B) {
+	x := []string{"a", "b", "c"}
+	y := []string{"b", "c", "d"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Jaccard(x, y)
+	}
+}

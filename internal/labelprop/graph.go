@@ -18,9 +18,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"crossmodal/internal/feature"
 	"crossmodal/internal/mapreduce"
+	"crossmodal/internal/xrand"
 )
 
 // GraphConfig controls kNN graph construction.
@@ -43,7 +45,9 @@ type GraphConfig struct {
 	Weights feature.Weights
 	// Seed drives candidate sampling.
 	Seed int64
-	// Workers parallelizes per-vertex neighbor search.
+	// Workers parallelizes per-vertex neighbor search. The graph is
+	// identical for every worker count (asserted by tests): per-vertex
+	// work depends only on the vertex index and Seed.
 	Workers int
 }
 
@@ -86,6 +90,36 @@ func (g *Graph) NumEdges() int {
 	return total / 2
 }
 
+// dedupeSet is a reusable epoch-stamped membership set: stamp[j] == epoch
+// means j is in the set. Bumping the epoch clears the set in O(1), so one
+// allocation serves every vertex a worker processes — the per-vertex
+// map[int]bool this replaces was the blocked path's main allocation churn.
+type dedupeSet struct {
+	stamp []int32
+	epoch int32
+	buf   []int // reusable candidate buffer
+}
+
+func (s *dedupeSet) reset() {
+	s.epoch++
+	if s.epoch == 0 { // wrapped: clear stamps once every 2^31 resets
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
+	}
+	s.buf = s.buf[:0]
+}
+
+func (s *dedupeSet) add(j int) bool {
+	if s.stamp[j] == s.epoch {
+		return false
+	}
+	s.stamp[j] = s.epoch
+	s.buf = append(s.buf, j)
+	return true
+}
+
 // BuildGraph constructs the similarity graph over vecs. All vectors must
 // share one schema. Scales should be fitted on the same corpus
 // (feature.FitScales) so numeric similarities are calibrated.
@@ -95,33 +129,43 @@ func BuildGraph(ctx context.Context, cfg GraphConfig, vecs []*feature.Vector, sc
 	if n == 0 {
 		return nil, fmt.Errorf("labelprop: no vertices")
 	}
+	// Resolve the name-keyed scale/weight maps to index-aligned slices
+	// once; the per-pair path is then allocation- and map-free.
+	kern := feature.NewSimKernel(vecs[0].Schema(), scales, cfg.Weights)
 
 	// Candidate sets per vertex: blocked by shared categorical values, or
 	// all-pairs when no blocking features are configured.
-	var candidatesFor func(i int, rng *rand.Rand) []int
+	var candidatesFor func(i int, rng *rand.Rand, seen *dedupeSet) []int
 	if len(cfg.BlockFeatures) == 0 {
-		candidatesFor = func(i int, _ *rand.Rand) []int {
-			out := make([]int, 0, n-1)
+		candidatesFor = func(i int, _ *rand.Rand, seen *dedupeSet) []int {
+			out := seen.buf[:0]
 			for j := 0; j < n; j++ {
 				if j != i {
 					out = append(out, j)
 				}
 			}
+			seen.buf = out
 			return out
 		}
 	} else {
 		index := buildBlockIndex(vecs, cfg.BlockFeatures)
-		candidatesFor = func(i int, rng *rand.Rand) []int {
-			seen := map[int]bool{}
-			var out []int
-			for _, key := range blockKeys(vecs[i], cfg.BlockFeatures) {
+		// Block keys per vertex are computed once up front instead of
+		// re-deriving (and re-allocating) the "feat=cat" strings inside
+		// the parallel per-vertex search.
+		vertexKeys := make([][]string, n)
+		for i, v := range vecs {
+			vertexKeys[i] = blockKeys(v, cfg.BlockFeatures)
+		}
+		candidatesFor = func(i int, rng *rand.Rand, seen *dedupeSet) []int {
+			seen.reset()
+			for _, key := range vertexKeys[i] {
 				for _, j := range index[key] {
-					if j != i && !seen[j] {
-						seen[j] = true
-						out = append(out, j)
+					if j != i {
+						seen.add(j)
 					}
 				}
 			}
+			out := seen.buf
 			if len(out) > cfg.MaxCandidates {
 				rng.Shuffle(len(out), func(a, b int) { out[a], out[b] = out[b], out[a] })
 				out = out[:cfg.MaxCandidates]
@@ -135,11 +179,18 @@ func BuildGraph(ctx context.Context, cfg GraphConfig, vecs []*feature.Vector, sc
 	for i := range ids {
 		ids[i] = i
 	}
+	// Worker-local scratch (stamp array + candidate buffer), reused across
+	// the vertices a worker processes.
+	scratch := sync.Pool{New: func() any {
+		return &dedupeSet{stamp: make([]int32, n)}
+	}}
 	directed, err := mapreduce.Map(ctx, mapreduce.Config{Workers: cfg.Workers}, ids, func(i int) ([]Edge, error) {
-		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(i)*0x9e3779b9))
+		seen := scratch.Get().(*dedupeSet)
+		defer scratch.Put(seen)
+		rng := xrand.New(cfg.Seed ^ int64(i)*0x9e3779b9)
 		var edges []Edge
-		for _, j := range candidatesFor(i, rng) {
-			w := feature.WeightedSimilarity(vecs[i], vecs[j], scales, cfg.Weights)
+		for _, j := range candidatesFor(i, rng, seen) {
+			w := kern.Weighted(vecs[i], vecs[j])
 			if w >= cfg.MinWeight {
 				edges = append(edges, Edge{To: j, Weight: w})
 			}
@@ -158,33 +209,48 @@ func BuildGraph(ctx context.Context, cfg GraphConfig, vecs []*feature.Vector, sc
 	if err != nil {
 		return nil, err
 	}
+	return &Graph{adj: symmetrize(directed)}, nil
+}
 
-	// Symmetrize: keep an edge if either endpoint selected it.
-	adj := make([][]Edge, n)
-	type key struct{ a, b int }
-	seen := make(map[key]bool)
-	add := func(a, b int, w float64) {
-		k := key{a, b}
-		if a > b {
-			k = key{b, a}
+// symmetrize keeps an edge if either endpoint selected it. Each vertex's
+// final list is the merge of its own selections with the mirrored selections
+// of its in-neighbors, deduplicated after a per-vertex sort — no global
+// pair-keyed map. Similarity is symmetric, so when both directions selected
+// an edge the duplicate entries carry equal weights and collapsing keeps
+// either.
+func symmetrize(directed [][]Edge) [][]Edge {
+	n := len(directed)
+	deg := make([]int, n)
+	for i, es := range directed {
+		deg[i] += len(es)
+		for _, e := range es {
+			deg[e.To]++
 		}
-		if seen[k] {
-			return
-		}
-		seen[k] = true
-		adj[a] = append(adj[a], Edge{To: b, Weight: w})
-		adj[b] = append(adj[b], Edge{To: a, Weight: w})
 	}
-	for i, edges := range directed {
-		for _, e := range edges {
-			add(i, e.To, e.Weight)
+	adj := make([][]Edge, n)
+	for i := range adj {
+		adj[i] = make([]Edge, 0, deg[i])
+	}
+	for i, es := range directed {
+		for _, e := range es {
+			adj[i] = append(adj[i], e)
+			adj[e.To] = append(adj[e.To], Edge{To: i, Weight: e.Weight})
 		}
 	}
 	for i := range adj {
 		es := adj[i]
 		sort.Slice(es, func(a, b int) bool { return es[a].To < es[b].To })
+		// Collapse double-selected edges (equal To ⇒ equal weight).
+		out := es[:0]
+		for _, e := range es {
+			if len(out) > 0 && out[len(out)-1].To == e.To {
+				continue
+			}
+			out = append(out, e)
+		}
+		adj[i] = out
 	}
-	return &Graph{adj: adj}, nil
+	return adj
 }
 
 // buildBlockIndex maps "feat=cat" keys to the vertices carrying them.

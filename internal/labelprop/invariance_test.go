@@ -1,0 +1,207 @@
+package labelprop
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"crossmodal/internal/feature"
+)
+
+func graphEqual(a, b *Graph) error {
+	if a.NumVertices() != b.NumVertices() {
+		return fmt.Errorf("vertex counts differ: %d vs %d", a.NumVertices(), b.NumVertices())
+	}
+	for i := 0; i < a.NumVertices(); i++ {
+		ea, eb := a.Neighbors(i), b.Neighbors(i)
+		if len(ea) != len(eb) {
+			return fmt.Errorf("vertex %d: %d vs %d neighbors", i, len(ea), len(eb))
+		}
+		for j := range ea {
+			if ea[j] != eb[j] {
+				return fmt.Errorf("vertex %d neighbor %d: %+v vs %+v", i, j, ea[j], eb[j])
+			}
+		}
+	}
+	return nil
+}
+
+// TestBuildGraphWorkerInvariance requires the graph to be bit-identical for
+// every worker count, on both the all-pairs and blocked paths. Per-vertex
+// RNGs are derived from (Seed, vertex index) alone and mapreduce preserves
+// input order, so nothing may depend on scheduling.
+func TestBuildGraphWorkerInvariance(t *testing.T) {
+	vecs, _ := clusterVecs(150, 11)
+	scales := feature.FitScales(schema, vecs)
+	for _, cfg := range []GraphConfig{
+		{K: 5, Seed: 3},
+		{K: 5, Seed: 3, BlockFeatures: []string{"topic"}, MaxCandidates: 40},
+	} {
+		name := "allpairs"
+		if len(cfg.BlockFeatures) > 0 {
+			name = "blocked"
+		}
+		base := cfg
+		base.Workers = 1
+		ref, err := BuildGraph(context.Background(), base, vecs, scales)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			c := cfg
+			c.Workers = workers
+			g, err := BuildGraph(context.Background(), c, vecs, scales)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := graphEqual(ref, g); err != nil {
+				t.Errorf("%s: Workers=%d differs from Workers=1: %v", name, workers, err)
+			}
+		}
+	}
+}
+
+// TestBuildGraphSeedDeterminism pins same-seed reproducibility and checks
+// different seeds actually change the blocked candidate sampling.
+func TestBuildGraphSeedDeterminism(t *testing.T) {
+	vecs, _ := clusterVecs(150, 12)
+	scales := feature.FitScales(schema, vecs)
+	cfg := GraphConfig{K: 3, Seed: 9, BlockFeatures: []string{"topic"}, MaxCandidates: 20, Workers: 4}
+	a, err := BuildGraph(context.Background(), cfg, vecs, scales)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildGraph(context.Background(), cfg, vecs, scales)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphEqual(a, b); err != nil {
+		t.Errorf("same seed not reproducible: %v", err)
+	}
+	cfg.Seed = 10
+	c, err := BuildGraph(context.Background(), cfg, vecs, scales)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graphEqual(a, c) == nil {
+		t.Error("changing the seed left the sampled graph identical")
+	}
+}
+
+// TestPropagateReachedMatchesBFS checks the compacting frontier scan marks
+// exactly the vertices reachable from the seed set once iteration runs to
+// convergence.
+func TestPropagateReachedMatchesBFS(t *testing.T) {
+	vecs, _ := clusterVecs(120, 13)
+	scales := feature.FitScales(schema, vecs)
+	g, err := BuildGraph(context.Background(), GraphConfig{K: 4, Seed: 5}, vecs, scales)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := map[int]float64{0: 1, 1: 0, 7: 1}
+	res, err := Propagate(context.Background(), g, seeds, PropConfig{MaxIters: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference BFS over the undirected graph from the seed vertices.
+	want := make([]bool, g.NumVertices())
+	queue := make([]int, 0, len(seeds))
+	for v := range seeds {
+		want[v] = true
+		queue = append(queue, v)
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Neighbors(v) {
+			if !want[e.To] {
+				want[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	for i := range want {
+		if res.Reached[i] != want[i] {
+			t.Errorf("vertex %d: Reached=%v, BFS says %v", i, res.Reached[i], want[i])
+		}
+	}
+}
+
+// TestPropagateShardInvariance requires identical scores for every shard
+// count: sharding splits a Jacobi sweep, which reads only the previous
+// iteration's values.
+func TestPropagateShardInvariance(t *testing.T) {
+	vecs, _ := clusterVecs(120, 14)
+	scales := feature.FitScales(schema, vecs)
+	g, err := BuildGraph(context.Background(), GraphConfig{K: 4, Seed: 6}, vecs, scales)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := map[int]float64{0: 1, 1: 0, 10: 1, 33: 0}
+	ref, err := Propagate(context.Background(), g, seeds, PropConfig{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 5, 16} {
+		res, err := Propagate(context.Background(), g, seeds, PropConfig{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Iters != ref.Iters {
+			t.Errorf("Shards=%d: %d iters vs %d", shards, res.Iters, ref.Iters)
+		}
+		for i := range ref.Scores {
+			if res.Scores[i] != ref.Scores[i] {
+				t.Fatalf("Shards=%d: score[%d] = %v vs %v", shards, i, res.Scores[i], ref.Scores[i])
+			}
+			if res.Reached[i] != ref.Reached[i] {
+				t.Fatalf("Shards=%d: reached[%d] = %v vs %v", shards, i, res.Reached[i], ref.Reached[i])
+			}
+		}
+	}
+}
+
+func benchGraphInputs(b *testing.B, n int) ([]*feature.Vector, feature.Scales) {
+	b.Helper()
+	vecs, _ := clusterVecs(n, 17)
+	return vecs, feature.FitScales(schema, vecs)
+}
+
+func BenchmarkBuildGraph(b *testing.B) {
+	for _, mode := range []string{"allpairs", "blocked"} {
+		b.Run(mode, func(b *testing.B) {
+			vecs, scales := benchGraphInputs(b, 600)
+			cfg := GraphConfig{K: 8, Seed: 3, Workers: 1}
+			if mode == "blocked" {
+				cfg.BlockFeatures = []string{"topic"}
+				cfg.MaxCandidates = 150
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildGraph(context.Background(), cfg, vecs, scales); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPropagate(b *testing.B) {
+	vecs, scales := benchGraphInputs(b, 600)
+	g, err := BuildGraph(context.Background(), GraphConfig{K: 8, Seed: 3, Workers: 1}, vecs, scales)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := make(map[int]float64)
+	for i := 0; i < 60; i++ {
+		seeds[i*10] = float64(i % 2)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Propagate(context.Background(), g, seeds, PropConfig{Shards: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

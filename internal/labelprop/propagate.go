@@ -77,12 +77,24 @@ func Propagate(ctx context.Context, g *Graph, seeds map[int]float64, cfg PropCon
 	cur := make([]float64, n)
 	next := make([]float64, n)
 	reached := make([]bool, n)
+	// Seed membership hoisted out of the Jacobi inner loop: isSeed[i]
+	// replaces a per-vertex-per-iteration map lookup.
+	isSeed := make([]bool, n)
 	for i := range cur {
 		cur[i] = cfg.Prior
 	}
 	for v, s := range seeds {
 		cur[v] = s
 		reached[v] = true
+		isSeed[v] = true
+	}
+	// Unreached vertices in ascending order; the frontier scan compacts this
+	// list instead of rescanning all n vertices every iteration.
+	unreached := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if !reached[i] {
+			unreached = append(unreached, i)
+		}
 	}
 
 	// Shard vertices for parallel Jacobi sweeps.
@@ -96,7 +108,7 @@ func Propagate(ctx context.Context, g *Graph, seeds map[int]float64, cfg PropCon
 		deltas, err := mapreduce.Map(ctx, mapreduce.Config{Workers: cfg.Shards}, shardIDs, func(s int) (float64, error) {
 			var maxDelta float64
 			for i := s; i < n; i += cfg.Shards {
-				if _, isSeed := seeds[i]; isSeed {
+				if isSeed[i] {
 					next[i] = cur[i]
 					continue
 				}
@@ -124,20 +136,28 @@ func Propagate(ctx context.Context, g *Graph, seeds map[int]float64, cfg PropCon
 			return nil, err
 		}
 		// Mark newly reached vertices after the sweep (frontier grows one
-		// hop per iteration).
+		// hop per iteration). The scan walks only still-unreached vertices,
+		// in ascending order with reached updated live — exactly the order
+		// a full 0..n-1 sweep would visit them — and compacts survivors in
+		// place.
 		newlyReached := false
-		for i := 0; i < n; i++ {
-			if reached[i] {
-				continue
-			}
+		remaining := unreached[:0]
+		for _, i := range unreached {
+			hit := false
 			for _, e := range g.Neighbors(i) {
 				if reached[e.To] {
-					reached[i] = true
-					newlyReached = true
+					hit = true
 					break
 				}
 			}
+			if hit {
+				reached[i] = true
+				newlyReached = true
+			} else {
+				remaining = append(remaining, i)
+			}
 		}
+		unreached = remaining
 		cur, next = next, cur
 		var maxDelta float64
 		for _, d := range deltas {

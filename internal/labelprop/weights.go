@@ -2,9 +2,9 @@ package labelprop
 
 import (
 	"fmt"
-	"math/rand"
 
 	"crossmodal/internal/feature"
+	"crossmodal/internal/xrand"
 )
 
 // FitFeatureWeights learns per-feature importance weights for graph edges
@@ -41,7 +41,8 @@ func FitFeatureWeights(vecs []*feature.Vector, labels []int8, scales feature.Sca
 		return nil, fmt.Errorf("labelprop: weight fitting needs >=2 positives and >=1 negative (%d/%d)", len(pos), len(neg))
 	}
 	schema := vecs[0].Schema()
-	rng := rand.New(rand.NewSource(seed))
+	rng := xrand.New(seed)
+	kern := feature.NewSimKernel(schema, scales, nil)
 
 	type acc struct {
 		sameSum, sameN   float64
@@ -61,7 +62,7 @@ func FitFeatureWeights(vecs []*feature.Vector, labels []int8, scales feature.Sca
 			j = neg[rng.Intn(len(neg))]
 		}
 		for f := 0; f < schema.Len(); f++ {
-			s, ok := feature.Similarity(vecs[i], vecs[j], f, scales)
+			s, ok := kern.Similarity(vecs[i], vecs[j], f)
 			if !ok {
 				continue
 			}

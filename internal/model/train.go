@@ -35,8 +35,8 @@ type trainer struct {
 	shards [numGradShards]gradShard
 
 	nWorkers int
-	work     chan int       // shard indices for the in-flight step
-	wg       sync.WaitGroup // completion of the in-flight step
+	work     chan int                 // shard indices for the in-flight step
+	wg       sync.WaitGroup           // completion of the in-flight step
 	active   [numGradShards][]float64 // backing array for the per-step active-shard list
 
 	// In-flight minibatch, published to workers via the work channel.

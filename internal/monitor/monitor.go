@@ -15,6 +15,7 @@ import (
 	"crossmodal/internal/feature"
 	"crossmodal/internal/fusion"
 	"crossmodal/internal/synth"
+	"crossmodal/internal/xrand"
 )
 
 // Oracle reveals a point's true label — the stand-in for a human reviewer.
@@ -115,7 +116,7 @@ func Compare(nameA string, a fusion.Predictor, nameB string, b fusion.Predictor,
 	// Allocate the budget: importance samples from the interesting pool,
 	// random samples from everything. Sampling is without replacement;
 	// each stratum's inclusion probability is tracked for weighting.
-	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x30b1))
+	rng := xrand.New(cfg.Seed ^ 0x30b1)
 	budget := cfg.Budget
 	if budget > n {
 		budget = n

@@ -3,6 +3,8 @@ package synth
 import (
 	"fmt"
 	"math/rand"
+
+	"crossmodal/internal/xrand"
 )
 
 // Point is one data point: a rendering of a hidden entity in a concrete
@@ -27,32 +29,19 @@ type Point struct {
 // ObservationRNG returns a deterministic RNG for one named observation
 // channel of this point (e.g. a particular service observing it). Distinct
 // channels get independent streams; the same channel always gets the same
-// stream.
+// stream. Construction is O(1): one RNG is built per point per channel, so
+// this sits on the featurization hot path.
 func (p *Point) ObservationRNG(channel string) *rand.Rand {
-	return rand.New(rand.NewSource(int64(subSeed(p.Seed, channel))))
+	return xrand.New(int64(xrand.HashString(p.Seed, channel)))
 }
 
-// FrameRNG returns a deterministic RNG for one frame of a video point.
+// FrameRNG returns a deterministic RNG for one frame of a video point. The
+// frame streams are Weyl offsets of the channel's sub-seed, so they are
+// independent of each other and of the whole-point ObservationRNG stream
+// without formatting a per-frame channel name.
 func (p *Point) FrameRNG(channel string, frame int) *rand.Rand {
-	return rand.New(rand.NewSource(int64(subSeed(p.Seed, fmt.Sprintf("%s#frame%d", channel, frame)))))
-}
-
-// subSeed mixes a point seed with a channel name into a new 64-bit seed
-// using an FNV-1a / splitmix64 combination.
-func subSeed(seed uint64, channel string) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(channel); i++ {
-		h ^= uint64(channel[i])
-		h *= 1099511628211
-	}
-	return splitmix64(seed ^ h)
-}
-
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
+	sub := xrand.HashString(p.Seed, channel)
+	return xrand.New(int64(xrand.Mix(sub + uint64(frame+1)*0x9e3779b97f4a7c15)))
 }
 
 // DatasetConfig sets corpus sizes for one task dataset. The paper's corpora
@@ -133,7 +122,7 @@ func BuildDataset(w *World, task *Task, cfg DatasetConfig) (*Dataset, error) {
 			return nil, err
 		}
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := xrand.New(cfg.Seed)
 	ds := &Dataset{Task: task, World: w}
 	nextID := 0
 	sample := func(n int, m Modality) []*Point {
@@ -144,7 +133,7 @@ func BuildDataset(w *World, task *Task, cfg DatasetConfig) (*Dataset, error) {
 				ID:       nextID,
 				Entity:   e,
 				Modality: m,
-				Seed:     splitmix64(uint64(cfg.Seed)<<20 ^ uint64(nextID)),
+				Seed:     xrand.Mix(uint64(cfg.Seed)<<20 ^ uint64(nextID)),
 				Label:    task.Label(w, e),
 			}
 			nextID++
@@ -161,7 +150,7 @@ func BuildDataset(w *World, task *Task, cfg DatasetConfig) (*Dataset, error) {
 // SampleVideo draws n video points, each splitting into frames image frames,
 // from the new-modality prior. Used by the video-adaptation example.
 func SampleVideo(w *World, task *Task, n, frames int, seed int64) []*Point {
-	rng := rand.New(rand.NewSource(seed))
+	rng := xrand.New(seed)
 	pts := make([]*Point, n)
 	for i := range pts {
 		e := w.SampleEntity(rng, Video, i)
@@ -169,7 +158,7 @@ func SampleVideo(w *World, task *Task, n, frames int, seed int64) []*Point {
 			ID:       i,
 			Entity:   e,
 			Modality: Video,
-			Seed:     splitmix64(uint64(seed)<<20 ^ uint64(i) ^ 0xf00d),
+			Seed:     xrand.Mix(uint64(seed)<<20 ^ uint64(i) ^ 0xf00d),
 			Frames:   frames,
 			Label:    task.Label(w, e),
 		}

@@ -1,0 +1,83 @@
+// Package xrand provides a cheap, deterministic pseudo-random source for
+// per-item RNG streams.
+//
+// The curation layer derives an independent RNG per data point, per
+// observation channel, and per graph vertex. The legacy math/rand source
+// seeds a 607-word lagged-Fibonacci state on construction — ~37% of a full
+// pipeline run's CPU samples when a fresh source is built per item. The
+// splitmix64 generator used here has a single uint64 of state, so
+// construction is O(1), and its output mixing function decorrelates even
+// sequential seeds, which makes it safe to derive stream seeds by hashing
+// (seed ^ itemIndex)-style expressions. Each New call returns a private
+// *rand.Rand, so per-goroutine use is race-free by construction.
+//
+// splitmix64 is the seeding generator recommended by Vigna
+// (https://prng.di.unimi.it/splitmix64.c): a Weyl sequence with increment
+// 0x9e3779b97f4a7c15 passed through a variant of the MurmurHash3 finalizer.
+// It is deterministic and stable: the streams produced for a given seed are
+// pinned by golden tests and must not change silently, since recorded
+// experiment expectations depend on them.
+package xrand
+
+import "math/rand"
+
+// gamma is the golden-ratio Weyl increment of splitmix64.
+const gamma = 0x9e3779b97f4a7c15
+
+// Source is a splitmix64 generator implementing math/rand.Source64.
+// The zero value is a valid source seeded with 0.
+type Source struct {
+	state uint64
+}
+
+var _ rand.Source64 = (*Source)(nil)
+
+// NewSource returns a splitmix64 source for the given seed. Unlike the
+// legacy math/rand source, construction is O(1).
+func NewSource(seed int64) *Source {
+	return &Source{state: uint64(seed)}
+}
+
+// New returns a *rand.Rand backed by a fresh splitmix64 source.
+// It is the drop-in replacement for rand.New(rand.NewSource(seed)) on hot
+// per-item paths.
+func New(seed int64) *rand.Rand {
+	return rand.New(NewSource(seed))
+}
+
+// Uint64 advances the Weyl sequence and returns the mixed state.
+func (s *Source) Uint64() uint64 {
+	s.state += gamma
+	return Mix(s.state)
+}
+
+// Int63 returns a non-negative 63-bit value (math/rand.Source).
+func (s *Source) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Seed resets the source to the given seed (math/rand.Source).
+func (s *Source) Seed(seed int64) {
+	s.state = uint64(seed)
+}
+
+// Mix applies the splitmix64 output mixing function: a bijective avalanche
+// over uint64, useful on its own for deriving decorrelated sub-seeds from
+// structured inputs (seed ^ index, hashed channel names, ...).
+func Mix(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// HashString folds s into seed with FNV-1a and mixes the result, producing
+// a decorrelated sub-seed for a named stream (an observation channel, a
+// stage name). The same (seed, s) pair always yields the same sub-seed.
+func HashString(seed uint64, s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return Mix(seed ^ h)
+}

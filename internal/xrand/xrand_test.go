@@ -1,0 +1,117 @@
+package xrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestGoldenStream pins the splitmix64 output for a fixed seed. Recorded
+// experiment expectations depend on these streams: if this test fails, the
+// generator changed and every recorded metric must be regenerated (see
+// EXPERIMENTS.md).
+func TestGoldenStream(t *testing.T) {
+	s := NewSource(1)
+	want := []uint64{
+		0x910a2dec89025cc1,
+		0xbeeb8da1658eec67,
+		0xf893a2eefb32555e,
+	}
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Fatalf("Uint64() #%d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	if New(1).Uint64() == New(2).Uint64() {
+		t.Error("different seeds produced identical first outputs")
+	}
+	// Sequential seeds must decorrelate (the whole point of the mixer).
+	if New(7).Float64() == New(8).Float64() {
+		t.Error("sequential seeds produced identical Float64")
+	}
+}
+
+func TestSeedResets(t *testing.T) {
+	s := NewSource(5)
+	first := s.Uint64()
+	s.Uint64()
+	s.Seed(5)
+	if got := s.Uint64(); got != first {
+		t.Errorf("Seed(5) did not reset the stream: %#x vs %#x", got, first)
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	s := NewSource(-99)
+	for i := 0; i < 1000; i++ {
+		if v := s.Int63(); v < 0 {
+			t.Fatalf("Int63() = %d, want non-negative", v)
+		}
+	}
+}
+
+// TestUniformity is a coarse sanity check that the source drives math/rand
+// acceptably: mean of Float64 near 0.5, Intn(k) hits every residue.
+func TestUniformity(t *testing.T) {
+	rng := New(3)
+	var sum float64
+	const n = 20000
+	hits := make([]int, 8)
+	for i := 0; i < n; i++ {
+		sum += rng.Float64()
+		hits[rng.Intn(8)]++
+	}
+	if mean := sum / n; mean < 0.48 || mean > 0.52 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+	for r, h := range hits {
+		if h < n/8/2 {
+			t.Errorf("Intn(8) residue %d hit %d times, want ~%d", r, h, n/8)
+		}
+	}
+}
+
+func TestHashString(t *testing.T) {
+	if HashString(1, "a") == HashString(1, "b") {
+		t.Error("different strings should give different sub-seeds")
+	}
+	if HashString(1, "a") == HashString(2, "a") {
+		t.Error("different seeds should give different sub-seeds")
+	}
+	if HashString(1, "a") != HashString(1, "a") {
+		t.Error("sub-seed not deterministic")
+	}
+}
+
+// TestConstructionCheap asserts O(1) construction cost: building a Rand
+// allocates only the Rand and Source structs, not a large seeded state.
+func TestConstructionCheap(t *testing.T) {
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = New(123)
+	})
+	if allocs > 2 {
+		t.Errorf("New allocates %v objects, want <= 2", allocs)
+	}
+}
+
+func BenchmarkNew(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = New(int64(i))
+	}
+}
+
+func BenchmarkLegacyNew(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = rand.New(rand.NewSource(int64(i)))
+	}
+}
