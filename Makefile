@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check test build bench bench-json race
+.PHONY: check test build bench bench-json race serve-bench
 
-## check: tier-1 gate — build everything, run every test.
+## check: tier-1 gate — build everything, vet it, run every test.
 check:
 	$(GO) build ./...
+	$(GO) vet ./...
 	$(GO) test ./...
 
 build:
@@ -29,6 +30,21 @@ bench-json:
 	| $(GO) run ./cmd/benchjson -o BENCH_curation.json
 
 ## race: race-detector pass over the concurrent packages (training engine,
-## mapreduce, label propagation, feature encoding).
+## mapreduce, label propagation, feature encoding, feature store, serving).
 race:
-	$(GO) test -race ./internal/model/ ./internal/mapreduce/ ./internal/labelprop/ ./internal/feature/
+	$(GO) test -race ./internal/model/ ./internal/mapreduce/ ./internal/labelprop/ ./internal/feature/ ./internal/featurestore/ ./internal/serve/
+
+## serve-bench: end-to-end serving benchmark — train a small artifact, start
+## the server, drive it with loadgen, snapshot the latency/throughput stats
+## to BENCH_serve.json. Uses a fixed high port; override with SERVE_ADDR.
+SERVE_ADDR ?= 127.0.0.1:18099
+serve-bench:
+	mkdir -p bin
+	$(GO) build -o bin/serve ./cmd/serve
+	$(GO) build -o bin/loadgen ./cmd/loadgen
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	bin/serve -train bin/model.xma -train-only -scale 0.05
+	bin/serve -model bin/model.xma -addr $(SERVE_ADDR) & echo $$! > bin/serve.pid
+	bin/loadgen -url http://$(SERVE_ADDR) -mode closed -duration 5s -conns 8 \
+		| tee /dev/stderr | bin/benchjson -o BENCH_serve.json; \
+	status=$$?; kill `cat bin/serve.pid` 2>/dev/null; rm -f bin/serve.pid; exit $$status

@@ -1,0 +1,246 @@
+// Command loadgen drives the inference service at a target rate and reports
+// latency and shed-rate statistics. It emits its summary both as a human
+// table and as `go test -bench`-style lines, so the existing benchjson flow
+// archives serving benchmarks the same way it archives training ones:
+//
+//	loadgen -url http://127.0.0.1:8099 -qps 2000 -duration 10s | benchjson -o BENCH_serve.json
+//
+// Two load modes:
+//
+//   - closed (default): -conns workers issue requests back-to-back; the
+//     offered rate is whatever the server sustains (throughput probe).
+//   - open: requests are paced at -qps regardless of completions (the
+//     shed-behavior probe — an overloaded server must answer 429 quickly,
+//     not build a backlog).
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var (
+		url       = flag.String("url", "http://127.0.0.1:8099", "server base URL")
+		qps       = flag.Int("qps", 2000, "target request rate (open mode only)")
+		duration  = flag.Duration("duration", 5*time.Second, "how long to drive load")
+		conns     = flag.Int("conns", 8, "concurrent workers / connections")
+		mode      = flag.String("mode", "closed", "load mode: closed (back-to-back) or open (paced at -qps)")
+		ids       = flag.Int("ids", 4096, "request ID space; IDs cycle over [0, ids)")
+		waitReady = flag.Duration("wait-ready", 10*time.Second, "poll /readyz this long before driving load (0 skips)")
+		timeout   = flag.Duration("timeout", 2*time.Second, "per-request client timeout")
+	)
+	flag.Parse()
+	if *mode != "closed" && *mode != "open" {
+		log.Fatalf("unknown mode %q", *mode)
+	}
+	if err := waitUntilReady(*url, *waitReady); err != nil {
+		log.Fatal(err)
+	}
+	res := drive(*url, *mode, *qps, *conns, *ids, *duration, *timeout)
+	report(res, *mode, *qps)
+	if res.ok == 0 {
+		os.Exit(1)
+	}
+}
+
+func waitUntilReady(url string, budget time.Duration) error {
+	if budget <= 0 {
+		return nil
+	}
+	deadline := time.Now().Add(budget)
+	client := &http.Client{Timeout: time.Second}
+	for {
+		resp, err := client.Get(url + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready after %s", url, budget)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// result aggregates one run. Latencies are recorded per worker and merged
+// afterwards, so the hot path takes no lock.
+type result struct {
+	ok, shed, notReady, failed uint64
+	latencies                  []time.Duration // successful requests only
+	elapsed                    time.Duration
+}
+
+func drive(url, mode string, qps, conns, ids int, duration, timeout time.Duration) *result {
+	client := &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        conns * 2,
+			MaxIdleConnsPerHost: conns * 2,
+		},
+	}
+
+	// Open mode: a paced token channel; workers block on it. Pacing is
+	// deficit-based — every millisecond the pacer issues however many
+	// tokens elapsed wall time says are owed — because a per-request
+	// ticker at sub-millisecond intervals coalesces missed ticks and
+	// silently undershoots the target rate. Tokens that find the buffer
+	// full are dropped, not deferred: an open-loop generator never lets
+	// a slow server push the offered load into the future.
+	var tokens chan struct{}
+	stop := make(chan struct{})
+	pacerStart := time.Now()
+	if mode == "open" {
+		tokens = make(chan struct{}, max(1, qps/10))
+		go func() {
+			tick := time.NewTicker(time.Millisecond)
+			defer tick.Stop()
+			var issued int64
+			for {
+				select {
+				case <-tick.C:
+					owed := int64(time.Since(pacerStart).Seconds()*float64(qps)) - issued
+					for ; owed > 0; owed-- {
+						issued++
+						select {
+						case tokens <- struct{}{}:
+						default: // workers saturated; shed at the client
+						}
+					}
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
+	var nextID atomic.Uint64
+	var ok, shed, notReady, failed atomic.Uint64
+	perWorker := make([][]time.Duration, conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(duration)
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lats := make([]time.Duration, 0, 4096)
+			body := make([]byte, 0, 64)
+			for time.Now().Before(deadline) {
+				if tokens != nil {
+					select {
+					case <-tokens:
+					case <-time.After(time.Until(deadline)):
+					}
+					if !time.Now().Before(deadline) {
+						break
+					}
+				}
+				id := int(nextID.Add(1)) % ids
+				body = body[:0]
+				body = append(body, `{"points":[{"id":`...)
+				body = appendInt(body, id)
+				body = append(body, `}]}`...)
+				t0 := time.Now()
+				resp, err := client.Post(url+"/predict", "application/json", bytes.NewReader(body))
+				lat := time.Since(t0)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+					lats = append(lats, lat)
+				case http.StatusTooManyRequests, http.StatusGatewayTimeout:
+					shed.Add(1)
+				case http.StatusServiceUnavailable:
+					notReady.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+			perWorker[w] = lats
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+
+	res := &result{
+		ok:       ok.Load(),
+		shed:     shed.Load(),
+		notReady: notReady.Load(),
+		failed:   failed.Load(),
+		elapsed:  time.Since(start),
+	}
+	for _, lats := range perWorker {
+		res.latencies = append(res.latencies, lats...)
+	}
+	sort.Slice(res.latencies, func(i, j int) bool { return res.latencies[i] < res.latencies[j] })
+	return res
+}
+
+func appendInt(b []byte, v int) []byte {
+	return fmt.Appendf(b, "%d", v)
+}
+
+func (r *result) quantile(q float64) time.Duration {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(r.latencies)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(r.latencies) {
+		i = len(r.latencies) - 1
+	}
+	return r.latencies[i]
+}
+
+func report(r *result, mode string, qps int) {
+	total := r.ok + r.shed + r.notReady + r.failed
+	achieved := float64(r.ok) / r.elapsed.Seconds()
+	fmt.Printf("mode=%s requests=%d ok=%d shed=%d not_ready=%d failed=%d\n",
+		mode, total, r.ok, r.shed, r.notReady, r.failed)
+	if mode == "open" {
+		fmt.Printf("target %d req/s, achieved %.0f req/s over %.2fs\n", qps, achieved, r.elapsed.Seconds())
+	} else {
+		fmt.Printf("achieved %.0f req/s over %.2fs\n", achieved, r.elapsed.Seconds())
+	}
+	p50, p95, p99 := r.quantile(0.50), r.quantile(0.95), r.quantile(0.99)
+	var pMax time.Duration
+	if n := len(r.latencies); n > 0 {
+		pMax = r.latencies[n-1]
+	}
+	fmt.Printf("latency p50=%s p95=%s p99=%s max=%s\n", p50, p95, p99, pMax)
+
+	// Bench-format lines for benchjson: `<name> <iterations> <value> ns/op`.
+	// Iterations carry the sample count; the value is the statistic.
+	fmt.Println()
+	emit := func(name string, n uint64, ns float64) {
+		fmt.Printf("Benchmark%s \t%d\t%.0f ns/op\n", name, n, ns)
+	}
+	emit("ServeLatencyP50", r.ok, float64(p50.Nanoseconds()))
+	emit("ServeLatencyP95", r.ok, float64(p95.Nanoseconds()))
+	emit("ServeLatencyP99", r.ok, float64(p99.Nanoseconds()))
+	if achieved > 0 {
+		// Mean inter-completion time: 1e9/achieved — "ns per served request".
+		emit("ServeThroughput", r.ok, 1e9/achieved)
+	}
+	emit("ServeShedCount", total, float64(r.shed))
+}

@@ -1,0 +1,238 @@
+// Command serve runs the online inference service: it loads (or trains) a
+// fusion model and serves predictions over HTTP with micro-batching, atomic
+// hot-swap via POST /admin/reload, and bounded-queue load shedding — the
+// deployment stage that terminates the paper's adaptation pipeline.
+//
+// Usage:
+//
+//	serve [-addr :8099] [-model model.xma] [-train model.xma [-train-only]]
+//	      [-fusion early|intermediate|devise] [-task CT1] [-scale 0.1]
+//	      [-seed 17] [-workers N] [-cache 65536] [-canary 32]
+//	      [-max-batch 64] [-max-wait 2ms] [-queue 1024] [-timeout 500ms]
+//
+// Typical flows:
+//
+//	serve -train model.xma -train-only -scale 0.1   # write an artifact
+//	serve -model model.xma                          # serve it
+//	serve -train model.xma -scale 0.1               # train, save, and serve
+//
+//	curl -s localhost:8099/predict -d '{"points":[{"id":7}]}'
+//	curl -s localhost:8099/admin/reload -d '{"path":"model.xma"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"crossmodal/internal/featurestore"
+	"crossmodal/internal/fusion"
+	"crossmodal/internal/mapreduce"
+	"crossmodal/internal/model"
+	"crossmodal/internal/resource"
+	"crossmodal/internal/serve"
+	"crossmodal/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve: ")
+	var (
+		addr       = flag.String("addr", ":8099", "listen address")
+		modelPath  = flag.String("model", "", "model artifact to serve at startup")
+		trainPath  = flag.String("train", "", "train a model and save the artifact here")
+		trainOnly  = flag.Bool("train-only", false, "exit after training (requires -train)")
+		fusionKind = flag.String("fusion", "early", "fusion architecture to train: early, intermediate, devise")
+		taskName   = flag.String("task", "CT1", "classification task to train on (CT1..CT5)")
+		scale      = flag.Float64("scale", 0.1, "training corpus scale factor")
+		seed       = flag.Int64("seed", 17, "base seed for request point derivation and training")
+		workers    = flag.Int("workers", 0, "worker goroutines per parallel stage (0 = GOMAXPROCS)")
+		cache      = flag.Int("cache", 65536, "featurestore capacity (points)")
+		canaryN    = flag.Int("canary", 32, "canary batch size validating every hot swap (0 disables)")
+		maxBatch   = flag.Int("max-batch", 64, "micro-batch size cap")
+		maxWait    = flag.Duration("max-wait", 2*time.Millisecond, "micro-batch window")
+		queue      = flag.Int("queue", 1024, "admission queue depth; excess load is shed with 429")
+		timeout    = flag.Duration("timeout", 500*time.Millisecond, "per-request scoring budget")
+	)
+	flag.Parse()
+	if err := run(runConfig{
+		addr: *addr, modelPath: *modelPath, trainPath: *trainPath, trainOnly: *trainOnly,
+		fusionKind: *fusionKind, taskName: *taskName, scale: *scale, seed: *seed,
+		workers: *workers, cache: *cache, canaryN: *canaryN,
+		maxBatch: *maxBatch, maxWait: *maxWait, queue: *queue, timeout: *timeout,
+	}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type runConfig struct {
+	addr                 string
+	modelPath, trainPath string
+	trainOnly            bool
+	fusionKind, taskName string
+	scale                float64
+	seed                 int64
+	workers, cache       int
+	canaryN, maxBatch    int
+	maxWait, timeout     time.Duration
+	queue                int
+}
+
+func run(cfg runConfig) error {
+	if cfg.trainOnly && cfg.trainPath == "" {
+		return errors.New("-train-only requires -train")
+	}
+	world, err := synth.NewWorld(synth.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	lib, err := resource.StandardLibrary(world)
+	if err != nil {
+		return err
+	}
+	store, err := featurestore.New(lib, cfg.cache)
+	if err != nil {
+		return err
+	}
+
+	startPath := cfg.modelPath
+	if cfg.trainPath != "" {
+		if err := train(world, lib, store, cfg); err != nil {
+			return err
+		}
+		log.Printf("trained %s model for %s → %s", cfg.fusionKind, cfg.taskName, cfg.trainPath)
+		if cfg.trainOnly {
+			return nil
+		}
+		if startPath == "" {
+			startPath = cfg.trainPath
+		}
+	}
+
+	canary := make([]*synth.Point, cfg.canaryN)
+	for i := range canary {
+		// IDs far above live traffic, so canary cache slots never collide
+		// with request points.
+		canary[i] = serve.DerivePoint(world, cfg.seed, 1<<30+i, synth.Image, 0)
+	}
+	srv, err := serve.New(serve.Config{
+		Store:   store,
+		World:   world,
+		Seed:    cfg.seed,
+		Workers: cfg.workers,
+		Timeout: cfg.timeout,
+		Batcher: serve.BatcherConfig{
+			MaxBatchSize: cfg.maxBatch,
+			MaxWait:      cfg.maxWait,
+			QueueDepth:   cfg.queue,
+		},
+	}, canary)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	if startPath != "" {
+		l, err := srv.Registry().LoadArtifact(startPath)
+		if err != nil {
+			return fmt.Errorf("load %s: %w", startPath, err)
+		}
+		log.Printf("serving %s model (seq %d) from %s", l.Kind, l.Seq, l.Path)
+	} else {
+		log.Printf("no model loaded; POST /admin/reload to install one")
+	}
+
+	hs := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("listening on %s", cfg.addr)
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		log.Printf("shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(sctx)
+	}
+}
+
+// train builds a dataset for the task and trains the requested fusion
+// architecture on the labeled text corpus plus the hand-labeled image pool —
+// the fully supervised path, which is all serving needs (the weak-supervision
+// pipeline lives in cmd/crossmodal).
+func train(world *synth.World, lib *resource.Library, store *featurestore.Store, cfg runConfig) error {
+	task, err := synth.TaskByName(cfg.taskName)
+	if err != nil {
+		return err
+	}
+	dsCfg := synth.DefaultDatasetConfig()
+	dsCfg.Seed = cfg.seed
+	dsCfg.NumText = max(1, int(float64(dsCfg.NumText)*cfg.scale))
+	dsCfg.NumUnlabeledImage = max(1, int(float64(dsCfg.NumUnlabeledImage)*cfg.scale))
+	dsCfg.NumHandLabelPool = max(1, int(float64(dsCfg.NumHandLabelPool)*cfg.scale))
+	dsCfg.NumTest = max(1, int(float64(dsCfg.NumTest)*cfg.scale))
+	ds, err := synth.BuildDataset(world, task, dsCfg)
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	mrCfg := mapreduce.Config{Workers: cfg.workers}
+	corpusOf := func(name string, pts []*synth.Point) (fusion.Corpus, error) {
+		vecs, err := store.Featurize(ctx, mrCfg, pts)
+		if err != nil {
+			return fusion.Corpus{}, err
+		}
+		targets := make([]float64, len(pts))
+		for i, p := range pts {
+			if p.Label > 0 {
+				targets[i] = 1
+			}
+		}
+		return fusion.Corpus{Name: name, Vectors: vecs, Targets: targets}, nil
+	}
+	text, err := corpusOf("text", ds.LabeledText)
+	if err != nil {
+		return err
+	}
+	image, err := corpusOf("image", ds.HandLabelPool)
+	if err != nil {
+		return err
+	}
+
+	fcfg := fusion.Config{
+		Schema: lib.Schema().Servable(),
+		Model: model.Config{
+			Hidden:       []int{16},
+			Epochs:       4,
+			Seed:         cfg.seed,
+			LearningRate: 0.02,
+			Workers:      cfg.workers,
+		},
+	}
+	var m fusion.Predictor
+	switch cfg.fusionKind {
+	case "early":
+		m, err = fusion.TrainEarly([]fusion.Corpus{text, image}, fcfg)
+	case "intermediate":
+		m, err = fusion.TrainIntermediate([]fusion.Corpus{text, image}, fcfg)
+	case "devise":
+		m, err = fusion.TrainDeViSE([]fusion.Corpus{text}, image, fcfg)
+	default:
+		return fmt.Errorf("unknown fusion kind %q", cfg.fusionKind)
+	}
+	if err != nil {
+		return err
+	}
+	return fusion.SaveFile(cfg.trainPath, m)
+}

@@ -24,16 +24,36 @@ import (
 
 // Store is a bounded, concurrency-safe cache of featurized data points in
 // front of a resource library. The zero value is not usable; call New.
+//
+// Concurrency: all cache state is guarded by mu, and cached *feature.Vector
+// values are shared across callers, who must treat them as read-only (every
+// in-repo consumer does: vectorization and similarity only read). Misses are
+// coalesced — when several goroutines miss on the same point ID at once
+// (many HTTP handlers featurizing overlapping traffic, see internal/serve),
+// exactly one computes it and the rest wait for that result, so a hot point
+// is never featurized twice concurrently.
 type Store struct {
 	lib      *resource.Library
 	capacity int
 
-	mu      sync.Mutex
-	entries map[int]*list.Element // point ID → LRU element
-	lru     *list.List            // front = most recent
-	hits    int
-	misses  int
-	evicted int
+	mu        sync.Mutex
+	entries   map[int]*list.Element // point ID → LRU element
+	lru       *list.List            // front = most recent
+	pending   map[int]*inflight     // point ID → in-progress featurization
+	hits      int
+	misses    int
+	evicted   int
+	coalesced int
+}
+
+// inflight is one in-progress featurization another goroutine may wait on.
+// The owner fills vec or err, then closes done; waiters read the fields only
+// after done is closed, so the result survives even if the cache entry is
+// evicted before the waiter wakes.
+type inflight struct {
+	done chan struct{}
+	vec  *feature.Vector
+	err  error
 }
 
 // cacheEntry is one LRU slot.
@@ -53,6 +73,7 @@ func New(lib *resource.Library, capacity int) (*Store, error) {
 		capacity: capacity,
 		entries:  make(map[int]*list.Element),
 		lru:      list.New(),
+		pending:  make(map[int]*inflight),
 	}, nil
 }
 
@@ -73,18 +94,12 @@ func (s *Store) Stats() (hits, misses, evicted int) {
 	return s.hits, s.misses, s.evicted
 }
 
-// lookup returns the cached vector for a point ID, updating recency.
-func (s *Store) lookup(id int) (*feature.Vector, bool) {
+// Coalesced reports how many misses were satisfied by waiting on another
+// goroutine's in-flight featurization instead of recomputing.
+func (s *Store) Coalesced() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	el, ok := s.entries[id]
-	if !ok {
-		s.misses++
-		return nil, false
-	}
-	s.hits++
-	s.lru.MoveToFront(el)
-	return el.Value.(*cacheEntry).vec, true
+	return s.coalesced
 }
 
 // insert stores a vector under a point ID, evicting the least recently used
@@ -92,6 +107,11 @@ func (s *Store) lookup(id int) (*feature.Vector, bool) {
 func (s *Store) insert(id int, vec *feature.Vector) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.insertLocked(id, vec)
+}
+
+// insertLocked is insert with s.mu already held.
+func (s *Store) insertLocked(id int, vec *feature.Vector) {
 	if el, ok := s.entries[id]; ok {
 		el.Value.(*cacheEntry).vec = vec
 		s.lru.MoveToFront(el)
@@ -109,28 +129,80 @@ func (s *Store) insert(id int, vec *feature.Vector) {
 // Featurize returns feature vectors for pts, computing only cache misses
 // (in parallel) and memoizing them. Point IDs key the cache, so IDs must be
 // unique across everything featurized through one store — true for points
-// sampled from one synth.Dataset.
+// sampled from one synth.Dataset and for serve traffic, whose point
+// identity is its request ID.
+//
+// Concurrent calls that miss on the same ID coalesce: one caller computes,
+// the others wait for its result. A nil ctx is treated as
+// context.Background().
 func (s *Store) Featurize(ctx context.Context, cfg mapreduce.Config, pts []*synth.Point) ([]*feature.Vector, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]*feature.Vector, len(pts))
-	var missing []*synth.Point
-	var missingIdx []int
+	var mine []*synth.Point // misses this call owns and computes
+	var mineIdx []int
+	var mineFl []*inflight
+	var waitFl []*inflight // misses another goroutine is already computing
+	var waitIdx []int
+	s.mu.Lock()
 	for i, p := range pts {
-		if vec, ok := s.lookup(p.ID); ok {
-			out[i] = vec
-		} else {
-			missing = append(missing, p)
-			missingIdx = append(missingIdx, i)
+		if el, ok := s.entries[p.ID]; ok {
+			s.hits++
+			s.lru.MoveToFront(el)
+			out[i] = el.Value.(*cacheEntry).vec
+			continue
+		}
+		s.misses++
+		if fl, ok := s.pending[p.ID]; ok {
+			s.coalesced++
+			waitFl = append(waitFl, fl)
+			waitIdx = append(waitIdx, i)
+			continue
+		}
+		fl := &inflight{done: make(chan struct{})}
+		s.pending[p.ID] = fl
+		mine = append(mine, p)
+		mineIdx = append(mineIdx, i)
+		mineFl = append(mineFl, fl)
+	}
+	s.mu.Unlock()
+
+	var computeErr error
+	if len(mine) > 0 {
+		computed, err := s.lib.Featurize(ctx, cfg, mine)
+		computeErr = err
+		s.mu.Lock()
+		for j, fl := range mineFl {
+			if err != nil {
+				fl.err = err
+			} else {
+				fl.vec = computed[j]
+				out[mineIdx[j]] = computed[j]
+				s.insertLocked(mine[j].ID, computed[j])
+			}
+			delete(s.pending, mine[j].ID)
+		}
+		s.mu.Unlock()
+		// Release waiters only after the pending entries are gone, so a
+		// waiter that retries cleanly becomes a fresh owner.
+		for _, fl := range mineFl {
+			close(fl.done)
 		}
 	}
-	if len(missing) > 0 {
-		computed, err := s.lib.Featurize(ctx, cfg, missing)
-		if err != nil {
-			return nil, err
+	for k, fl := range waitFl {
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
 		}
-		for j, vec := range computed {
-			out[missingIdx[j]] = vec
-			s.insert(missing[j].ID, vec)
+		if fl.err != nil {
+			return nil, fl.err
 		}
+		out[waitIdx[k]] = fl.vec
+	}
+	if computeErr != nil {
+		return nil, computeErr
 	}
 	return out, nil
 }

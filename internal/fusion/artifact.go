@@ -1,0 +1,304 @@
+package fusion
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"crossmodal/internal/feature"
+	"crossmodal/internal/model"
+)
+
+// Model artifacts: a trained fusion predictor serialized as a deployable
+// file, the way featurestore rows already persist feature vectors. The
+// paper's §2.4 deployment stage pushes the fused model behind serving
+// infrastructure independent of the training pipeline (the same packaging
+// step Snorkel DryBell argues realizes the payoff of weak supervision);
+// internal/serve loads these artifacts and hot-swaps them under live
+// traffic.
+//
+// File layout (all integers little-endian):
+//
+//	magic   [8]byte  "XMODART1"
+//	version uint32   artifact format version (1)
+//	kind    uint32   length n, then n bytes ("early" | "intermediate" | "devise")
+//	payload uint64   length m, then m bytes of gob-encoded model
+//	crc     uint32   IEEE CRC-32 of the payload bytes
+//
+// The checksum guards against truncated or bit-rotted files; the version
+// and per-type gob wire versions (see model/serialize.go, feature/gob.go)
+// guard against format skew. Load rejects any mismatch instead of
+// deserializing garbage into a serving model.
+
+// Artifact kinds, also reported by serve's admin endpoints.
+const (
+	KindEarly        = "early"
+	KindIntermediate = "intermediate"
+	KindDeViSE       = "devise"
+)
+
+var artifactMagic = [8]byte{'X', 'M', 'O', 'D', 'A', 'R', 'T', '1'}
+
+const artifactVersion = 1
+
+// maxArtifactSection caps the kind and payload lengths Load will read, so a
+// corrupt header cannot trigger an absurd allocation.
+const maxArtifactSection = 1 << 30
+
+// earlyWire is the gob form of EarlyModel.
+type earlyWire struct {
+	VZ      *feature.Vectorizer
+	Net     *model.MLP
+	Workers int
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *EarlyModel) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(earlyWire{VZ: m.vz, Net: m.net, Workers: m.workers})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *EarlyModel) GobDecode(data []byte) error {
+	var w earlyWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("fusion: decode early model: %w", err)
+	}
+	if w.VZ == nil || w.Net == nil {
+		return fmt.Errorf("fusion: decode early model: missing vectorizer or network")
+	}
+	if w.Net.InDim() != w.VZ.Width() {
+		return fmt.Errorf("fusion: decode early model: network input %d vs vectorizer width %d",
+			w.Net.InDim(), w.VZ.Width())
+	}
+	m.vz, m.net, m.workers = w.VZ, w.Net, w.Workers
+	return nil
+}
+
+// intermediateWire is the gob form of IntermediateModel.
+type intermediateWire struct {
+	VZ      *feature.Vectorizer
+	Parts   []*model.MLP
+	Final   *model.MLP
+	Workers int
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *IntermediateModel) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(intermediateWire{VZ: m.vz, Parts: m.parts, Final: m.final, Workers: m.workers})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *IntermediateModel) GobDecode(data []byte) error {
+	var w intermediateWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("fusion: decode intermediate model: %w", err)
+	}
+	if w.VZ == nil || w.Final == nil || len(w.Parts) == 0 {
+		return fmt.Errorf("fusion: decode intermediate model: missing stage")
+	}
+	hidden := 0
+	for _, part := range w.Parts {
+		if part.InDim() != w.VZ.Width() {
+			return fmt.Errorf("fusion: decode intermediate model: part input %d vs vectorizer width %d",
+				part.InDim(), w.VZ.Width())
+		}
+		hidden += part.HiddenDim()
+	}
+	if w.Final.InDim() != hidden {
+		return fmt.Errorf("fusion: decode intermediate model: final input %d vs concat width %d",
+			w.Final.InDim(), hidden)
+	}
+	m.vz, m.parts, m.final, m.workers = w.VZ, w.Parts, w.Final, w.Workers
+	return nil
+}
+
+// deviseWire is the gob form of DeViSEModel.
+type deviseWire struct {
+	A       *EarlyModel
+	B       *EarlyModel
+	Proj    *model.Projection
+	Workers int
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *DeViSEModel) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(deviseWire{A: m.a, B: m.b, Proj: m.proj, Workers: m.workers})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *DeViSEModel) GobDecode(data []byte) error {
+	var w deviseWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("fusion: decode devise model: %w", err)
+	}
+	if w.A == nil || w.B == nil || w.Proj == nil {
+		return fmt.Errorf("fusion: decode devise model: missing stage")
+	}
+	m.a, m.b, m.proj, m.workers = w.A, w.B, w.Proj, w.Workers
+	return nil
+}
+
+// Kind reports the artifact kind string of a predictor, or "" for foreign
+// Predictor implementations.
+func Kind(p Predictor) string {
+	switch p.(type) {
+	case *EarlyModel:
+		return KindEarly
+	case *IntermediateModel:
+		return KindIntermediate
+	case *DeViSEModel:
+		return KindDeViSE
+	default:
+		return ""
+	}
+}
+
+// Save writes p as a versioned, checksummed artifact.
+func Save(w io.Writer, p Predictor) error {
+	kind := Kind(p)
+	if kind == "" {
+		return fmt.Errorf("fusion: cannot serialize predictor of type %T", p)
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(p); err != nil {
+		return fmt.Errorf("fusion: encode %s model: %w", kind, err)
+	}
+	if _, err := w.Write(artifactMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(artifactVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(kind))); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, kind); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(payload.Len())); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, crc32.ChecksumIEEE(payload.Bytes()))
+}
+
+// Load reads an artifact written by Save, verifying magic, version, and
+// checksum, and returns the predictor plus its kind.
+func Load(r io.Reader) (Predictor, string, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, "", fmt.Errorf("fusion: read artifact magic: %w", err)
+	}
+	if magic != artifactMagic {
+		return nil, "", fmt.Errorf("fusion: bad artifact magic %q", magic[:])
+	}
+	var version uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return nil, "", fmt.Errorf("fusion: read artifact version: %w", err)
+	}
+	if version != artifactVersion {
+		return nil, "", fmt.Errorf("fusion: artifact version %d, want %d", version, artifactVersion)
+	}
+	var kindLen uint32
+	if err := binary.Read(r, binary.LittleEndian, &kindLen); err != nil {
+		return nil, "", fmt.Errorf("fusion: read artifact kind: %w", err)
+	}
+	if kindLen == 0 || kindLen > maxArtifactSection {
+		return nil, "", fmt.Errorf("fusion: implausible artifact kind length %d", kindLen)
+	}
+	kindBytes := make([]byte, kindLen)
+	if _, err := io.ReadFull(r, kindBytes); err != nil {
+		return nil, "", fmt.Errorf("fusion: read artifact kind: %w", err)
+	}
+	kind := string(kindBytes)
+	var payloadLen uint64
+	if err := binary.Read(r, binary.LittleEndian, &payloadLen); err != nil {
+		return nil, "", fmt.Errorf("fusion: read artifact payload length: %w", err)
+	}
+	if payloadLen == 0 || payloadLen > maxArtifactSection {
+		return nil, "", fmt.Errorf("fusion: implausible artifact payload length %d", payloadLen)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, "", fmt.Errorf("fusion: read artifact payload: %w", err)
+	}
+	var sum uint32
+	if err := binary.Read(r, binary.LittleEndian, &sum); err != nil {
+		return nil, "", fmt.Errorf("fusion: read artifact checksum: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, "", fmt.Errorf("fusion: artifact checksum mismatch: payload %08x, header %08x", got, sum)
+	}
+	dec := gob.NewDecoder(bytes.NewReader(payload))
+	var p Predictor
+	switch kind {
+	case KindEarly:
+		m := &EarlyModel{}
+		if err := dec.Decode(m); err != nil {
+			return nil, "", err
+		}
+		p = m
+	case KindIntermediate:
+		m := &IntermediateModel{}
+		if err := dec.Decode(m); err != nil {
+			return nil, "", err
+		}
+		p = m
+	case KindDeViSE:
+		m := &DeViSEModel{}
+		if err := dec.Decode(m); err != nil {
+			return nil, "", err
+		}
+		p = m
+	default:
+		return nil, "", fmt.Errorf("fusion: unknown artifact kind %q", kind)
+	}
+	return p, kind, nil
+}
+
+// SaveFile writes p to path atomically: a temp file in the same directory is
+// renamed over path only after a successful write, so a crashed save never
+// leaves a serving process able to load half an artifact.
+func SaveFile(path string, p Predictor) (err error) {
+	f, err := os.CreateTemp(filepath.Dir(path), ".artifact-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			os.Remove(tmp)
+		}
+	}()
+	if err = Save(f, p); err != nil {
+		f.Close()
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads an artifact from path.
+func LoadFile(path string) (Predictor, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	return Load(f)
+}

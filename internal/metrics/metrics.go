@@ -93,8 +93,11 @@ type PRPoint struct {
 
 // PRCurve computes the precision-recall curve by sweeping the decision
 // threshold over the distinct scores, highest first. Ties in score are
-// handled jointly (all points at a score enter together). It panics on
-// length mismatch and returns nil when there are no positive labels.
+// handled jointly (all points at a score enter together). NaN scores rank
+// below every real score and form a single tie group of their own — a
+// scorer that emits NaN has abstained as hard as possible, so those points
+// enter the curve last rather than poisoning the sweep. It panics on length
+// mismatch and returns nil when there are no positive labels.
 func PRCurve(labels []int8, scores []float64) []PRPoint {
 	if len(labels) != len(scores) {
 		panic(fmt.Sprintf("metrics: %d labels vs %d scores", len(labels), len(scores)))
@@ -112,7 +115,16 @@ func PRCurve(labels []int8, scores []float64) []PRPoint {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	sort.Slice(idx, func(a, b int) bool {
+		sa, sb := scores[idx[a]], scores[idx[b]]
+		if math.IsNaN(sa) {
+			return false // NaN sinks to the end
+		}
+		if math.IsNaN(sb) {
+			return true
+		}
+		return sa > sb
+	})
 
 	var curve []PRPoint
 	tp, fp := 0, 0
@@ -120,7 +132,10 @@ func PRCurve(labels []int8, scores []float64) []PRPoint {
 	for i < len(idx) {
 		j := i
 		threshold := scores[idx[i]]
-		for j < len(idx) && scores[idx[j]] == threshold {
+		// sameScore must treat NaN as tied with NaN, or the group would be
+		// empty and the sweep would never advance.
+		for j < len(idx) && (scores[idx[j]] == threshold ||
+			(math.IsNaN(threshold) && math.IsNaN(scores[idx[j]]))) {
 			if labels[idx[j]] > 0 {
 				tp++
 			} else {

@@ -223,3 +223,95 @@ func TestBootstrapAUPRC(t *testing.T) {
 		t.Error("empty bootstrap should be 0")
 	}
 }
+
+// Edge-case coverage for the curves the serving canary validation reuses
+// (internal/serve validates reloaded models on a labeled canary batch).
+
+func TestPRCurveEmptyInput(t *testing.T) {
+	if got := PRCurve(nil, nil); got != nil {
+		t.Errorf("empty PRCurve = %v, want nil", got)
+	}
+	if got := AUPRC(nil, nil); got != 0 {
+		t.Errorf("empty AUPRC = %v, want 0", got)
+	}
+	if f1, th := BestF1(nil, nil); f1 != 0 || th != 0 {
+		t.Errorf("empty BestF1 = %v @ %v, want 0 @ 0", f1, th)
+	}
+}
+
+func TestPRCurveSingleClass(t *testing.T) {
+	// All-negative labels: no positives → nil curve, 0 AUPRC.
+	if got := PRCurve([]int8{-1, -1, -1}, []float64{0.1, 0.5, 0.9}); got != nil {
+		t.Errorf("all-negative PRCurve = %v, want nil", got)
+	}
+	// All-positive labels: precision pinned at 1 for every threshold.
+	curve := PRCurve([]int8{1, 1, 1}, []float64{0.9, 0.5, 0.1})
+	if len(curve) != 3 {
+		t.Fatalf("all-positive curve has %d points, want 3", len(curve))
+	}
+	for _, pt := range curve {
+		if pt.Precision != 1 {
+			t.Errorf("all-positive precision = %v at threshold %v", pt.Precision, pt.Threshold)
+		}
+	}
+	if last := curve[len(curve)-1]; last.Recall != 1 {
+		t.Errorf("all-positive final recall = %v, want 1", last.Recall)
+	}
+	if auc := AUPRC([]int8{1, 1, 1}, []float64{0.9, 0.5, 0.1}); auc != 1 {
+		t.Errorf("all-positive AUPRC = %v, want 1", auc)
+	}
+}
+
+func TestPRCurveNaNScores(t *testing.T) {
+	// Before the NaN fix this looped forever: NaN == NaN is false, so the
+	// tie-group scan never advanced. NaN scores now sink below every real
+	// score as one tie group.
+	nan := math.NaN()
+	labels := []int8{1, -1, 1, -1}
+	scores := []float64{0.9, 0.4, nan, nan}
+	curve := PRCurve(labels, scores)
+	if len(curve) != 3 {
+		t.Fatalf("curve has %d points, want 3 (0.9, 0.4, NaN group): %v", len(curve), curve)
+	}
+	if curve[0].Threshold != 0.9 || curve[0].Precision != 1 {
+		t.Errorf("first point %+v, want threshold 0.9 precision 1", curve[0])
+	}
+	if !math.IsNaN(curve[2].Threshold) {
+		t.Errorf("last threshold %v, want NaN group", curve[2].Threshold)
+	}
+	if curve[2].Recall != 1 {
+		t.Errorf("final recall %v, want 1 (NaN points still counted)", curve[2].Recall)
+	}
+	// All-NaN scores: one tie group holding everything.
+	curve = PRCurve([]int8{1, -1}, []float64{nan, nan})
+	if len(curve) != 1 || curve[0].Recall != 1 || curve[0].Precision != 0.5 {
+		t.Errorf("all-NaN curve = %+v, want one point r=1 p=0.5", curve)
+	}
+	// AUPRC must stay finite with NaNs present.
+	if auc := AUPRC(labels, scores); math.IsNaN(auc) || auc < 0 || auc > 1 {
+		t.Errorf("AUPRC with NaN scores = %v, want finite in [0,1]", auc)
+	}
+}
+
+func TestConfusionEmptyAndSingleClass(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 || c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Errorf("zero confusion should report all-zero metrics: %v", c)
+	}
+	// Single-class all-negative stream: everything lands in TN/FP.
+	neg := Evaluate([]int8{-1, -1, -1}, []int8{-1, 1, -1})
+	if neg.TP != 0 || neg.FN != 0 || neg.TN != 2 || neg.FP != 1 {
+		t.Errorf("all-negative confusion = %+v", neg)
+	}
+	if neg.Recall() != 0 || neg.F1() != 0 {
+		t.Errorf("all-negative recall/F1 should be 0: %v", neg)
+	}
+	// Single-class all-positive stream: everything lands in TP/FN.
+	pos := Evaluate([]int8{1, 1, 1}, []int8{1, -1, 1})
+	if pos.TP != 2 || pos.FN != 1 || pos.FP != 0 || pos.TN != 0 {
+		t.Errorf("all-positive confusion = %+v", pos)
+	}
+	if pos.Precision() != 1 {
+		t.Errorf("all-positive precision = %v, want 1", pos.Precision())
+	}
+}

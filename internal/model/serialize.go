@@ -1,0 +1,105 @@
+package model
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Serialization turns trained networks into deployable artifacts (the
+// paper's §2.4 deployment stage pushes trained models behind serving infra;
+// internal/fusion wraps these encoders into versioned artifact files). The
+// wire forms carry an explicit version so a decoder can reject parameters it
+// does not understand instead of silently misreading them, and they carry
+// the flat parameter array verbatim, so a decoded model is bit-for-bit the
+// encoded one: every prediction is exactly reproducible across processes.
+
+// mlpWireV1 is version 1 of the MLP wire form.
+type mlpWireV1 struct {
+	Version int
+	InDim   int
+	Hidden  []int
+	Params  []float64
+	Workers int
+}
+
+const mlpWireVersion = 1
+
+// GobEncode implements gob.GobEncoder.
+func (m *MLP) GobEncode() ([]byte, error) {
+	hidden := append([]int(nil), m.sizes[1:len(m.sizes)-1]...)
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(mlpWireV1{
+		Version: mlpWireVersion,
+		InDim:   m.inDim,
+		Hidden:  hidden,
+		Params:  m.params,
+		Workers: m.workers,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder: it rebuilds the layer layout from the
+// encoded shape and restores the flat parameter array exactly.
+func (m *MLP) GobDecode(data []byte) error {
+	var w mlpWireV1
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("model: decode mlp: %w", err)
+	}
+	if w.Version != mlpWireVersion {
+		return fmt.Errorf("model: mlp wire version %d, want %d", w.Version, mlpWireVersion)
+	}
+	decoded, err := New(w.InDim, w.Hidden, 0)
+	if err != nil {
+		return fmt.Errorf("model: decode mlp: %w", err)
+	}
+	if len(w.Params) != len(decoded.params) {
+		return fmt.Errorf("model: mlp shape %dx%v implies %d params, payload has %d",
+			w.InDim, w.Hidden, len(decoded.params), len(w.Params))
+	}
+	copy(decoded.params, w.Params)
+	decoded.workers = w.Workers
+	*m = *decoded
+	return nil
+}
+
+// projWireV1 is version 1 of the Projection wire form.
+type projWireV1 struct {
+	Version int
+	InDim   int
+	W       []float64
+	B       []float64
+}
+
+const projWireVersion = 1
+
+// GobEncode implements gob.GobEncoder.
+func (p *Projection) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(projWireV1{
+		Version: projWireVersion,
+		InDim:   p.inDim,
+		W:       p.w,
+		B:       p.b,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (p *Projection) GobDecode(data []byte) error {
+	var w projWireV1
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("model: decode projection: %w", err)
+	}
+	if w.Version != projWireVersion {
+		return fmt.Errorf("model: projection wire version %d, want %d", w.Version, projWireVersion)
+	}
+	if w.InDim <= 0 || len(w.B) == 0 || len(w.W) != w.InDim*len(w.B) {
+		return fmt.Errorf("model: projection shape %d in, %d out, %d weights is inconsistent",
+			w.InDim, len(w.B), len(w.W))
+	}
+	p.inDim = w.InDim
+	p.w = w.W
+	p.b = w.B
+	return nil
+}

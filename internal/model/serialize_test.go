@@ -1,0 +1,122 @@
+package model
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+)
+
+// trainToy fits a small network on a linearly separable toy problem.
+func trainToy(t *testing.T, hidden []int, seed int64) (*MLP, [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n, dim := 400, 6
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		X[i] = row
+		if row[0]+0.5*row[1] > 0 {
+			y[i] = 1
+		}
+	}
+	m, err := Train(X, y, nil, Config{Hidden: hidden, Epochs: 4, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, X
+}
+
+func TestMLPGobRoundTripExact(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		hidden []int
+	}{
+		{"lr", nil},
+		{"mlp16", []int{16}},
+		{"mlp8x4", []int{8, 4}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m, X := trainToy(t, tc.hidden, 11)
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+				t.Fatal(err)
+			}
+			var got MLP
+			if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+				t.Fatal(err)
+			}
+			wantP, gotP := m.Params(), got.Params()
+			if len(wantP) != len(gotP) {
+				t.Fatalf("params %d vs %d", len(wantP), len(gotP))
+			}
+			for i := range wantP {
+				if wantP[i] != gotP[i] {
+					t.Fatalf("param %d: %v != %v", i, wantP[i], gotP[i])
+				}
+			}
+			for i, x := range X {
+				if w, g := m.PredictProba(x), got.PredictProba(x); w != g {
+					t.Fatalf("row %d: prediction %v != %v", i, w, g)
+				}
+			}
+			// The batch path must agree bit-for-bit too.
+			wb, gb := m.PredictBatch(X), got.PredictBatch(X)
+			for i := range wb {
+				if wb[i] != gb[i] {
+					t.Fatalf("batch row %d: %v != %v", i, wb[i], gb[i])
+				}
+			}
+		})
+	}
+}
+
+func TestMLPGobDecodeRejectsBadPayload(t *testing.T) {
+	m, _ := trainToy(t, []int{8}, 5)
+	raw, err := m.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ok MLP
+	if err := ok.GobDecode(raw); err != nil {
+		t.Fatalf("valid payload rejected: %v", err)
+	}
+	var bad MLP
+	if err := bad.GobDecode([]byte("not gob at all")); err == nil {
+		t.Fatal("garbage payload accepted")
+	}
+}
+
+func TestProjectionGobRoundTripExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := make([][]float64, 50)
+	dst := make([][]float64, 50)
+	for i := range src {
+		src[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		dst[i] = []float64{src[i][0] + src[i][1], src[i][2] * 2}
+	}
+	p, err := FitProjection(src, dst, 10, 0.05, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		t.Fatal(err)
+	}
+	var got Projection
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range src {
+		w, g := p.Apply(x), got.Apply(x)
+		for j := range w {
+			if w[j] != g[j] {
+				t.Fatalf("row %d out %d: %v != %v", i, j, w[j], g[j])
+			}
+		}
+	}
+}

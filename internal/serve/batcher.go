@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"crossmodal/internal/synth"
+)
+
+// The micro-batcher is the serving-side twin of the training engine's batch
+// parallelism: individual requests from many HTTP handler goroutines
+// coalesce into batches that flow through featurestore.Store.Featurize and
+// Predictor.PredictBatch together, amortizing the parallel batch machinery
+// (PR 1) across concurrent callers. Admission is a bounded queue — when the
+// server falls behind, excess load is shed immediately with a retryable
+// error instead of building an unbounded backlog (the classic
+// load-shedding discipline of production serving stacks).
+
+// Shedding and lifecycle errors. The HTTP layer maps these to status codes
+// (429 for shed load, 503 before a model is loaded).
+var (
+	// ErrQueueFull means admission was refused because the bounded queue
+	// was at capacity.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrDeadline means the request's deadline expired while it waited in
+	// the queue, so it was shed without being scored.
+	ErrDeadline = errors.New("serve: deadline expired in queue")
+	// ErrStopped means the batcher shut down before the request ran.
+	ErrStopped = errors.New("serve: batcher stopped")
+)
+
+// BatcherConfig tunes the micro-batcher.
+type BatcherConfig struct {
+	// MaxBatchSize caps how many queued requests one batch execution
+	// scores (default 64).
+	MaxBatchSize int
+	// MaxWait bounds how long the first request of a batch waits for
+	// company before the batch executes anyway (default 2ms).
+	MaxWait time.Duration
+	// QueueDepth bounds the admission queue; requests beyond it are shed
+	// with ErrQueueFull (default 1024).
+	QueueDepth int
+	// Executors is the number of goroutines executing batches (default 1;
+	// the batch itself already parallelizes internally via Workers knobs).
+	Executors int
+}
+
+func (c BatcherConfig) withDefaults() BatcherConfig {
+	if c.MaxBatchSize <= 0 {
+		c.MaxBatchSize = 64
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.Executors <= 0 {
+		c.Executors = 1
+	}
+	return c
+}
+
+// request is one enqueued point waiting to be scored.
+type request struct {
+	pt       *synth.Point
+	deadline time.Time // zero = no deadline
+	done     chan response
+}
+
+// response is the terminal state of one request.
+type response struct {
+	score float64
+	seq   uint64 // model sequence number that scored it
+	err   error
+}
+
+// ExecFunc scores one batch of points and returns their scores plus the
+// sequence number of the model that produced them. It must be safe for
+// concurrent use when BatcherConfig.Executors > 1.
+type ExecFunc func(pts []*synth.Point) ([]float64, uint64, error)
+
+// Batcher coalesces single-point requests into batches. Create with
+// NewBatcher, feed with Submit, stop with Close.
+type Batcher struct {
+	cfg   BatcherConfig
+	exec  ExecFunc
+	met   *Metrics
+	queue chan *request
+	execQ chan []*request
+	stop  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewBatcher starts the dispatcher and executor goroutines.
+func NewBatcher(cfg BatcherConfig, exec ExecFunc, met *Metrics) *Batcher {
+	cfg = cfg.withDefaults()
+	b := &Batcher{
+		cfg:   cfg,
+		exec:  exec,
+		met:   met,
+		queue: make(chan *request, cfg.QueueDepth),
+		execQ: make(chan []*request),
+		stop:  make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.dispatch()
+	for i := 0; i < cfg.Executors; i++ {
+		b.wg.Add(1)
+		go b.executor()
+	}
+	return b
+}
+
+// QueueDepth reports how many admitted requests are waiting to be batched.
+func (b *Batcher) QueueDepth() int { return len(b.queue) }
+
+// Submit admits one point and blocks until it is scored, shed, or ctx ends.
+// deadline zero means no deadline beyond ctx.
+func (b *Batcher) Submit(ctx context.Context, pt *synth.Point, deadline time.Time) (float64, uint64, error) {
+	select {
+	case <-b.stop:
+		return 0, 0, ErrStopped
+	default:
+	}
+	req := &request{pt: pt, deadline: deadline, done: make(chan response, 1)}
+	select {
+	case b.queue <- req:
+	default:
+		if b.met != nil {
+			b.met.ShedQueue.Add(1)
+		}
+		return 0, 0, ErrQueueFull
+	}
+	select {
+	case resp := <-req.done:
+		return resp.score, resp.seq, resp.err
+	case <-ctx.Done():
+		// The request is still in the pipeline; its eventual response is
+		// dropped (done is buffered). The caller has already gone away.
+		return 0, 0, ctx.Err()
+	}
+}
+
+// Close stops the batcher and fails any still-queued requests with
+// ErrStopped. In-flight batches finish first.
+func (b *Batcher) Close() {
+	close(b.stop)
+	b.wg.Wait()
+	// Drain whatever was admitted but never dispatched.
+	for {
+		select {
+		case req := <-b.queue:
+			req.done <- response{err: ErrStopped}
+		default:
+			return
+		}
+	}
+}
+
+// dispatch collects requests into batches: a batch opens on its first
+// request and closes when it reaches MaxBatchSize or MaxWait elapses.
+func (b *Batcher) dispatch() {
+	defer b.wg.Done()
+	defer close(b.execQ)
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		var first *request
+		select {
+		case first = <-b.queue:
+		case <-b.stop:
+			return
+		}
+		batch := make([]*request, 1, b.cfg.MaxBatchSize)
+		batch[0] = first
+		timer.Reset(b.cfg.MaxWait)
+	collect:
+		for len(batch) < b.cfg.MaxBatchSize {
+			select {
+			case req := <-b.queue:
+				batch = append(batch, req)
+			case <-timer.C:
+				break collect
+			case <-b.stop:
+				// Shutting down: run what we have, then exit.
+				break collect
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		select {
+		case b.execQ <- batch:
+		case <-b.stop:
+			// Executors may already be gone; fail the batch directly.
+			for _, req := range batch {
+				req.done <- response{err: ErrStopped}
+			}
+			return
+		}
+		select {
+		case <-b.stop:
+			return
+		default:
+		}
+	}
+}
+
+// executor runs batches: expired requests are shed, the rest are scored in
+// one ExecFunc call and answered individually.
+func (b *Batcher) executor() {
+	defer b.wg.Done()
+	for batch := range b.execQ {
+		b.run(batch)
+	}
+}
+
+// run executes one batch.
+func (b *Batcher) run(batch []*request) {
+	now := time.Now()
+	live := batch[:0]
+	for _, req := range batch {
+		if !req.deadline.IsZero() && now.After(req.deadline) {
+			if b.met != nil {
+				b.met.ShedDeadline.Add(1)
+			}
+			req.done <- response{err: fmt.Errorf("%w (late by %s)", ErrDeadline, now.Sub(req.deadline))}
+			continue
+		}
+		live = append(live, req)
+	}
+	if len(live) == 0 {
+		return
+	}
+	if b.met != nil {
+		b.met.BatchSize.Observe(float64(len(live)))
+	}
+	pts := make([]*synth.Point, len(live))
+	for i, req := range live {
+		pts[i] = req.pt
+	}
+	scores, seq, err := b.exec(pts)
+	if err != nil {
+		for _, req := range live {
+			req.done <- response{err: err}
+		}
+		return
+	}
+	for i, req := range live {
+		req.done <- response{score: scores[i], seq: seq}
+	}
+}

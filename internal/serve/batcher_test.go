@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crossmodal/internal/synth"
+)
+
+// countingExec records the batch sizes it was handed and scores every point
+// with its ID.
+type countingExec struct {
+	mu      sync.Mutex
+	batches []int
+	block   chan struct{} // when non-nil, exec waits on it
+}
+
+func (e *countingExec) exec(pts []*synth.Point) ([]float64, uint64, error) {
+	if e.block != nil {
+		<-e.block
+	}
+	e.mu.Lock()
+	e.batches = append(e.batches, len(pts))
+	e.mu.Unlock()
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = float64(p.ID)
+	}
+	return out, 1, nil
+}
+
+func (e *countingExec) batchSizes() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]int(nil), e.batches...)
+}
+
+func pt(id int) *synth.Point { return &synth.Point{ID: id} }
+
+func TestBatcherCoalescesConcurrentRequests(t *testing.T) {
+	exec := &countingExec{}
+	b := NewBatcher(BatcherConfig{MaxBatchSize: 64, MaxWait: 20 * time.Millisecond}, exec.exec, nil)
+	defer b.Close()
+
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	scores := make([]float64, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			scores[i], _, errs[i] = b.Submit(context.Background(), pt(i), time.Time{})
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if scores[i] != float64(i) {
+			t.Fatalf("request %d scored %v", i, scores[i])
+		}
+	}
+	sizes := exec.batchSizes()
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != n {
+		t.Fatalf("executed %d points across %v, want %d", total, sizes, n)
+	}
+	// 32 concurrent requests inside one 20ms window must not run as 32
+	// singleton batches; coalescing is the whole point.
+	if len(sizes) == n {
+		t.Errorf("no coalescing happened: batches %v", sizes)
+	}
+}
+
+func TestBatcherMaxBatchSize(t *testing.T) {
+	exec := &countingExec{}
+	b := NewBatcher(BatcherConfig{MaxBatchSize: 4, MaxWait: 50 * time.Millisecond, QueueDepth: 64}, exec.exec, nil)
+	defer b.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, _, err := b.Submit(context.Background(), pt(i), time.Time{}); err != nil {
+				t.Errorf("submit %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, s := range exec.batchSizes() {
+		if s > 4 {
+			t.Errorf("batch of %d exceeds MaxBatchSize 4", s)
+		}
+	}
+}
+
+func TestBatcherMaxWaitFlushesPartialBatch(t *testing.T) {
+	exec := &countingExec{}
+	b := NewBatcher(BatcherConfig{MaxBatchSize: 1024, MaxWait: 5 * time.Millisecond}, exec.exec, nil)
+	defer b.Close()
+	start := time.Now()
+	if _, _, err := b.Submit(context.Background(), pt(1), time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("single request waited %v; MaxWait flush broken", elapsed)
+	}
+	if sizes := exec.batchSizes(); len(sizes) != 1 || sizes[0] != 1 {
+		t.Fatalf("batches = %v, want [1]", sizes)
+	}
+}
+
+func TestBatcherShedsWhenQueueFull(t *testing.T) {
+	block := make(chan struct{})
+	exec := &countingExec{block: block}
+	var met = NewMetrics()
+	b := NewBatcher(BatcherConfig{MaxBatchSize: 1, MaxWait: time.Millisecond, QueueDepth: 2}, exec.exec, met)
+	defer func() { close(block); b.Close() }()
+
+	// Saturate: the executor blocks, the dispatcher holds batches, the
+	// queue fills. Submit from goroutines until ErrQueueFull shows up.
+	var full atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+			defer cancel()
+			_, _, err := b.Submit(ctx, pt(i), time.Time{})
+			if errors.Is(err, ErrQueueFull) {
+				full.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if full.Load() == 0 {
+		t.Error("no request was shed with a depth-2 queue and a blocked executor")
+	}
+	if met.ShedQueue.Load() != uint64(full.Load()) {
+		t.Errorf("shed counter %d vs %d observed errors", met.ShedQueue.Load(), full.Load())
+	}
+}
+
+func TestBatcherShedsExpiredDeadlines(t *testing.T) {
+	block := make(chan struct{})
+	exec := &countingExec{block: block}
+	met := NewMetrics()
+	b := NewBatcher(BatcherConfig{MaxBatchSize: 8, MaxWait: time.Millisecond, QueueDepth: 64, Executors: 1}, exec.exec, met)
+	defer b.Close()
+
+	// First batch occupies the executor long enough for the second
+	// request's deadline to lapse in the queue.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var err1, err2 error
+	go func() {
+		defer wg.Done()
+		_, _, err1 = b.Submit(context.Background(), pt(1), time.Time{})
+	}()
+	time.Sleep(20 * time.Millisecond) // let request 1 reach the blocked executor
+	go func() {
+		defer wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_, _, err2 = b.Submit(ctx, pt(2), time.Now().Add(10*time.Millisecond))
+	}()
+	time.Sleep(50 * time.Millisecond) // request 2's deadline expires while queued
+	close(block)
+	wg.Wait()
+	if err1 != nil {
+		t.Errorf("request 1: %v", err1)
+	}
+	if !errors.Is(err2, ErrDeadline) {
+		t.Errorf("request 2 err = %v, want ErrDeadline", err2)
+	}
+	if met.ShedDeadline.Load() == 0 {
+		t.Error("deadline shed not counted")
+	}
+}
+
+func TestBatcherCloseFailsPending(t *testing.T) {
+	exec := &countingExec{}
+	b := NewBatcher(BatcherConfig{MaxWait: time.Millisecond}, exec.exec, nil)
+	if _, _, err := b.Submit(context.Background(), pt(1), time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	if _, _, err := b.Submit(context.Background(), pt(2), time.Time{}); !errors.Is(err, ErrStopped) {
+		t.Errorf("post-close submit err = %v, want ErrStopped", err)
+	}
+}

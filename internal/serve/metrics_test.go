@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5, 10})
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 10) // 0.1 .. 10.0 uniform
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Quantile(0.5); math.Abs(got-5) > 1.6 {
+		t.Errorf("p50 = %v, want ~5 (bucket-resolution tolerance)", got)
+	}
+	if got := h.Quantile(0.99); got < 9 || got > 10 {
+		t.Errorf("p99 = %v, want in [9,10]", got)
+	}
+	if got := h.Max(); got != 10 {
+		t.Errorf("max = %v, want 10", got)
+	}
+	if got := h.Mean(); math.Abs(got-5.05) > 1e-9 {
+		t.Errorf("mean = %v, want 5.05", got)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(100)
+	h.Observe(200)
+	if got := h.Quantile(0.99); got != 200 {
+		t.Errorf("overflow quantile = %v, want max 200", got)
+	}
+	_, counts := h.Buckets()
+	if counts[len(counts)-1] != 2 {
+		t.Errorf("overflow count = %d, want 2", counts[len(counts)-1])
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram([]float64{0.5})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count = %d, want 8000", h.Count())
+	}
+	if h.Sum() != 8000 {
+		t.Errorf("sum = %v, want 8000", h.Sum())
+	}
+}
+
+func TestRateWindow(t *testing.T) {
+	var w rateWindow
+	base := time.Unix(1_000_000, 0)
+	// 50 events in each of the 3 seconds before "now".
+	for sec := int64(1); sec <= 3; sec++ {
+		for i := 0; i < 50; i++ {
+			w.Add(base.Add(time.Duration(sec) * time.Second))
+		}
+	}
+	now := base.Add(4 * time.Second)
+	got := w.Rate(now)
+	want := 150.0 / qpsWindowSeconds
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("rate = %v, want %v", got, want)
+	}
+	// Events far in the past drop out of the window.
+	if got := w.Rate(base.Add(1000 * time.Second)); got != 0 {
+		t.Errorf("stale rate = %v, want 0", got)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveRequest(3*time.Millisecond, 2, time.Now())
+	m.ShedQueue.Add(4)
+	var b strings.Builder
+	m.WriteTo(&b, 7, "early", 3)
+	out := b.String()
+	for _, want := range []string{
+		"serve_requests_total 1",
+		"serve_predictions_total 2",
+		"serve_shed_queue_total 4",
+		"serve_queue_depth 7",
+		"serve_model_loaded{kind=\"early\"} 1",
+		"serve_model_seq 3",
+		"serve_latency_seconds{quantile=\"0.5\"}",
+		"serve_latency_seconds{quantile=\"0.95\"}",
+		"serve_latency_seconds{quantile=\"0.99\"}",
+		"serve_batch_size_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

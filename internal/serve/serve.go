@@ -1,0 +1,357 @@
+// Package serve is the online inference subsystem: it exposes trained
+// fusion models over HTTP with request micro-batching, atomic model
+// hot-swap, bounded-queue admission control with deadline-aware load
+// shedding, and a metrics surface.
+//
+// The paper's pipeline terminates in a production classifier serving live
+// traffic (§2.4 deploys the fused model behind TFX-style serving infra);
+// this package is that deployment stage. A request names a data point of
+// the new modality; the server featurizes it through the shared
+// featurestore (paper §2.3's precomputed-feature services), coalesces
+// concurrent requests into batches for the parallel PredictBatch engine,
+// and returns P(y = +1).
+//
+// Endpoints:
+//
+//	POST /predict       {"points":[{"id":1,"modality":"image"}]} → scores
+//	POST /admin/reload  {"path":"model.xma"} → canary-validated hot swap
+//	GET  /healthz       process liveness
+//	GET  /readyz        model loaded and serving
+//	GET  /metrics       counters, queue depth, latency/batch histograms
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"crossmodal/internal/featurestore"
+	"crossmodal/internal/mapreduce"
+	"crossmodal/internal/synth"
+	"crossmodal/internal/xrand"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Store featurizes request points (and caches hot ones).
+	Store *featurestore.Store
+	// World is the synthetic traffic source requests are sampled from;
+	// it must match the world the loadgen or caller derives IDs against.
+	World *synth.World
+	// Seed is the base seed request points derive their observation
+	// noise from, so a point ID always renders identically (and the
+	// featurestore cache key — the ID — is sound).
+	Seed int64
+	// Batcher tunes micro-batching and admission control.
+	Batcher BatcherConfig
+	// Workers is the per-batch parallelism handed to featurization and
+	// PredictBatch (0 = GOMAXPROCS).
+	Workers int
+	// Timeout is the per-request scoring budget; a request that cannot be
+	// scored inside it is shed (default 500ms).
+	Timeout time.Duration
+}
+
+func (c Config) validate() error {
+	if c.Store == nil {
+		return fmt.Errorf("serve: nil featurestore")
+	}
+	if c.World == nil {
+		return fmt.Errorf("serve: nil world")
+	}
+	return nil
+}
+
+// Server is the online inference service. Create with New, expose with
+// Handler, stop with Close.
+type Server struct {
+	cfg Config
+	reg *Registry
+	bat *Batcher
+	met *Metrics
+	mux *http.ServeMux
+}
+
+// New builds a server with an empty registry: it is alive (healthz) but not
+// ready (readyz) until a model is installed or reloaded. canary is the
+// validation batch for hot swaps (may be nil).
+func New(cfg Config, canary []*synth.Point) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 500 * time.Millisecond
+	}
+	s := &Server{cfg: cfg, met: NewMetrics()}
+	if len(canary) > 0 {
+		vecs, err := cfg.Store.Featurize(context.Background(), mapreduce.Config{Workers: cfg.Workers}, canary)
+		if err != nil {
+			return nil, fmt.Errorf("serve: featurize canary: %w", err)
+		}
+		s.reg = NewRegistry(vecs)
+	} else {
+		s.reg = NewRegistry(nil)
+	}
+	s.bat = NewBatcher(cfg.Batcher, s.execBatch, s.met)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /predict", s.handlePredict)
+	s.mux.HandleFunc("POST /admin/reload", s.handleReload)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Registry exposes the model registry (startup installs, tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Metrics exposes the metric set.
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the batcher. The handler keeps answering health and metrics
+// but sheds predictions.
+func (s *Server) Close() { s.bat.Close() }
+
+// DerivePoint renders a (seed, id) pair into the synthetic data point it
+// names: the entity and observation noise derive deterministically, with the
+// same seed mix synth.BuildDataset uses for corpus points, so the same ID
+// always featurizes identically — in this process, in a restarted one, and
+// in a test comparing against in-process Predict. cmd/serve uses it to build
+// the canary batch before the server exists.
+func DerivePoint(w *synth.World, baseSeed int64, id int, m synth.Modality, frames int) *synth.Point {
+	seed := xrand.Mix(uint64(baseSeed)<<20 ^ uint64(id))
+	rng := xrand.New(int64(seed))
+	return &synth.Point{
+		ID:       id,
+		Entity:   w.SampleEntity(rng, m, id),
+		Modality: m,
+		Seed:     seed,
+		Frames:   frames,
+	}
+}
+
+// BuildPoint renders a request into the data point it names under the
+// server's base seed.
+func (s *Server) BuildPoint(id int, m synth.Modality, frames int) *synth.Point {
+	return DerivePoint(s.cfg.World, s.cfg.Seed, id, m, frames)
+}
+
+// execBatch is the batcher's ExecFunc: snapshot the model once, featurize
+// the whole batch through the store, score it with the parallel batch path.
+func (s *Server) execBatch(pts []*synth.Point) ([]float64, uint64, error) {
+	cur := s.reg.Current()
+	if cur == nil {
+		return nil, 0, errNotReady
+	}
+	vecs, err := s.cfg.Store.Featurize(context.Background(), mapreduce.Config{Workers: s.cfg.Workers}, pts)
+	if err != nil {
+		return nil, 0, err
+	}
+	return cur.Model.PredictBatch(vecs), cur.Seq, nil
+}
+
+// errNotReady maps to 503: the server is up but has no model yet.
+var errNotReady = errors.New("serve: no model loaded")
+
+// PointRequest names one data point to score.
+type PointRequest struct {
+	ID       int    `json:"id"`
+	Modality string `json:"modality,omitempty"` // default "image"
+	Frames   int    `json:"frames,omitempty"`
+}
+
+// predictRequest is the /predict body: a batch of points (or exactly one).
+type predictRequest struct {
+	Points []PointRequest `json:"points"`
+}
+
+// predictResponse is the /predict reply.
+type predictResponse struct {
+	Scores   []float64 `json:"scores"`
+	ModelSeq uint64    `json:"model_seq"`
+	Kind     string    `json:"kind"`
+}
+
+// parseModality maps the wire modality to synth's; "" defaults to image
+// (the new modality the paper adapts to).
+func parseModality(s string) (synth.Modality, error) {
+	switch s {
+	case "", "image":
+		return synth.Image, nil
+	case "text":
+		return synth.Text, nil
+	case "video":
+		return synth.Video, nil
+	default:
+		return "", fmt.Errorf("unknown modality %q", s)
+	}
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if !s.reg.Ready() {
+		s.met.NotReady.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "no model loaded", http.StatusServiceUnavailable)
+		return
+	}
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.met.ClientErrors.Add(1)
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Points) == 0 {
+		s.met.ClientErrors.Add(1)
+		http.Error(w, "no points", http.StatusBadRequest)
+		return
+	}
+	pts := make([]*synth.Point, len(req.Points))
+	for i, p := range req.Points {
+		m, err := parseModality(p.Modality)
+		if err != nil {
+			s.met.ClientErrors.Add(1)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		pts[i] = s.BuildPoint(p.ID, m, p.Frames)
+	}
+	deadline := start.Add(s.cfg.Timeout)
+	ctx, cancel := context.WithDeadline(r.Context(), deadline)
+	defer cancel()
+
+	type pending struct {
+		score float64
+		seq   uint64
+		err   error
+	}
+	results := make([]pending, len(pts))
+	if len(pts) == 1 {
+		// Fast path: the overwhelmingly common single-point request costs
+		// no extra goroutine.
+		score, seq, err := s.bat.Submit(ctx, pts[0], deadline)
+		results[0] = pending{score: score, seq: seq, err: err}
+	} else {
+		// Submit every point before waiting on any, so one request's
+		// points land in the same dispatch window and batch together.
+		done := make(chan struct{}, len(pts))
+		for i, pt := range pts {
+			go func(i int, pt *synth.Point) {
+				score, seq, err := s.bat.Submit(ctx, pt, deadline)
+				results[i] = pending{score: score, seq: seq, err: err}
+				done <- struct{}{}
+			}(i, pt)
+		}
+		for range pts {
+			<-done
+		}
+	}
+
+	resp := predictResponse{Scores: make([]float64, len(results))}
+	for _, res := range results {
+		if res.err != nil {
+			s.writeSubmitError(w, res.err)
+			return
+		}
+	}
+	for i, res := range results {
+		resp.Scores[i] = res.score
+		if res.seq > resp.ModelSeq {
+			resp.ModelSeq = res.seq
+		}
+	}
+	if cur := s.reg.Current(); cur != nil {
+		resp.Kind = cur.Kind
+	}
+	s.met.ObserveRequest(time.Since(start), len(req.Points), time.Now())
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeSubmitError maps batcher errors to HTTP statuses: shed load is 429
+// with a Retry-After hint, readiness is 503, timeouts are 504.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		s.met.ShedDeadline.Add(1)
+		http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+	case errors.Is(err, errNotReady):
+		s.met.NotReady.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, context.Canceled):
+		// Client went away; nothing useful to write.
+		s.met.ClientErrors.Add(1)
+	default:
+		s.met.Errors.Add(1)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// reloadRequest is the /admin/reload body.
+type reloadRequest struct {
+	Path string `json:"path"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req reloadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Path == "" {
+		http.Error(w, "missing artifact path", http.StatusBadRequest)
+		return
+	}
+	l, err := s.reg.LoadArtifact(req.Path)
+	if err != nil {
+		// The old model (if any) keeps serving; tell the operator why the
+		// new one was refused.
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"seq":  l.Seq,
+		"kind": l.Kind,
+		"path": l.Path,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.reg.Ready() {
+		http.Error(w, "no model loaded", http.StatusServiceUnavailable)
+		return
+	}
+	cur := s.reg.Current()
+	fmt.Fprintf(w, "ready kind=%s seq=%d\n", cur.Kind, cur.Seq)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var kind string
+	var seq uint64
+	if cur := s.reg.Current(); cur != nil {
+		kind, seq = cur.Kind, cur.Seq
+	}
+	s.met.WriteTo(w, s.bat.QueueDepth(), kind, seq)
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
