@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test build bench bench-json race serve-bench
+.PHONY: check test build bench bench-json race serve-bench chaos
 
 ## check: tier-1 gate — build everything, vet it, run every test.
 check:
@@ -33,6 +33,17 @@ bench-json:
 ## mapreduce, label propagation, feature encoding, feature store, serving).
 race:
 	$(GO) test -race ./internal/model/ ./internal/mapreduce/ ./internal/labelprop/ ./internal/feature/ ./internal/featurestore/ ./internal/serve/
+
+## chaos: the failure-injection gate — seeded chaos suites across resource /
+## featurestore / serve, the breaker property suite (1500 generated event
+## sequences), the golden end-to-end determinism test, and a fuzz smoke over
+## artifact loading. Everything runs under -race with fixed seeds, so a
+## failure here reproduces exactly.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Breaker|Guard|Golden|Injection|Decide|Flap|Partial|Latency|Stale|Degraded' \
+		./internal/resource/ ./internal/faulty/ ./internal/featurestore/ ./internal/serve/ .
+	$(GO) test -run xxx -fuzz FuzzArtifactLoad -fuzztime 5s ./internal/fusion/
+	$(GO) test -run xxx -fuzz FuzzEarlyModelGobDecode -fuzztime 5s ./internal/fusion/
 
 ## serve-bench: end-to-end serving benchmark — train a small artifact, start
 ## the server, drive it with loadgen, snapshot the latency/throughput stats

@@ -42,8 +42,12 @@ func main() {
 		timeout   = flag.Duration("timeout", 2*time.Second, "per-request client timeout")
 	)
 	flag.Parse()
-	if *mode != "closed" && *mode != "open" {
-		log.Fatalf("unknown mode %q", *mode)
+	cfg := genConfig{
+		url: *url, mode: *mode, qps: *qps, conns: *conns, ids: *ids,
+		duration: *duration, timeout: *timeout,
+	}
+	if err := cfg.validate(); err != nil {
+		log.Fatal(err)
 	}
 	if err := waitUntilReady(*url, *waitReady); err != nil {
 		log.Fatal(err)
@@ -53,6 +57,40 @@ func main() {
 	if res.ok == 0 {
 		os.Exit(1)
 	}
+}
+
+// genConfig is the validated flag set of one load-generation run.
+type genConfig struct {
+	url, mode         string
+	qps, conns, ids   int
+	duration, timeout time.Duration
+}
+
+// validate rejects flag combinations that would drive no load or divide by
+// zero, naming the offending flag.
+func (c genConfig) validate() error {
+	if c.url == "" {
+		return fmt.Errorf("-url must not be empty")
+	}
+	if c.mode != "closed" && c.mode != "open" {
+		return fmt.Errorf("-mode %q: want closed or open", c.mode)
+	}
+	if c.mode == "open" && c.qps <= 0 {
+		return fmt.Errorf("-qps %d: open mode needs a rate > 0", c.qps)
+	}
+	if c.conns <= 0 {
+		return fmt.Errorf("-conns %d: must be > 0", c.conns)
+	}
+	if c.ids <= 0 {
+		return fmt.Errorf("-ids %d: must be > 0", c.ids)
+	}
+	if c.duration <= 0 {
+		return fmt.Errorf("-duration %v: must be > 0", c.duration)
+	}
+	if c.timeout <= 0 {
+		return fmt.Errorf("-timeout %v: must be > 0", c.timeout)
+	}
+	return nil
 }
 
 func waitUntilReady(url string, budget time.Duration) error {

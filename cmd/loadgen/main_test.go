@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func goodGenConfig() genConfig {
+	return genConfig{
+		url: "http://127.0.0.1:8099", mode: "closed", qps: 2000,
+		conns: 8, ids: 4096, duration: 5 * time.Second, timeout: 2 * time.Second,
+	}
+}
+
+func TestGenConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*genConfig)
+		wantErr string // "" means valid
+	}{
+		{"defaults", func(*genConfig) {}, ""},
+		{"open mode", func(c *genConfig) { c.mode = "open" }, ""},
+		{"closed ignores qps", func(c *genConfig) { c.qps = 0 }, ""},
+
+		{"empty url", func(c *genConfig) { c.url = "" }, "-url"},
+		{"unknown mode", func(c *genConfig) { c.mode = "burst" }, "-mode"},
+		{"open without qps", func(c *genConfig) { c.mode = "open"; c.qps = 0 }, "-qps"},
+		{"open negative qps", func(c *genConfig) { c.mode = "open"; c.qps = -5 }, "-qps"},
+		{"zero conns", func(c *genConfig) { c.conns = 0 }, "-conns"},
+		{"zero ids", func(c *genConfig) { c.ids = 0 }, "-ids"},
+		{"zero duration", func(c *genConfig) { c.duration = 0 }, "-duration"},
+		{"negative timeout", func(c *genConfig) { c.timeout = -time.Second }, "-timeout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := goodGenConfig()
+			tc.mutate(&cfg)
+			err := cfg.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validate() accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name the offending flag (%q)", err, tc.wantErr)
+			}
+		})
+	}
+}

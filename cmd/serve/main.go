@@ -85,9 +85,54 @@ type runConfig struct {
 	queue                int
 }
 
-func run(cfg runConfig) error {
-	if cfg.trainOnly && cfg.trainPath == "" {
+// validate rejects flag combinations before any expensive work (world
+// construction, training) starts, so operator mistakes fail in milliseconds
+// with a message naming the offending flag.
+func (c runConfig) validate() error {
+	if c.addr == "" {
+		return errors.New("-addr must not be empty")
+	}
+	if c.trainOnly && c.trainPath == "" {
 		return errors.New("-train-only requires -train")
+	}
+	switch c.fusionKind {
+	case "early", "intermediate", "devise":
+	default:
+		return fmt.Errorf("-fusion %q: want early, intermediate, or devise", c.fusionKind)
+	}
+	if _, err := synth.TaskByName(c.taskName); err != nil {
+		return fmt.Errorf("-task %q: %w", c.taskName, err)
+	}
+	if c.scale <= 0 {
+		return fmt.Errorf("-scale %v: must be > 0", c.scale)
+	}
+	if c.workers < 0 {
+		return fmt.Errorf("-workers %d: must be >= 0", c.workers)
+	}
+	if c.cache < 0 {
+		return fmt.Errorf("-cache %d: must be >= 0", c.cache)
+	}
+	if c.canaryN < 0 {
+		return fmt.Errorf("-canary %d: must be >= 0", c.canaryN)
+	}
+	if c.maxBatch < 0 {
+		return fmt.Errorf("-max-batch %d: must be >= 0", c.maxBatch)
+	}
+	if c.maxWait < 0 {
+		return fmt.Errorf("-max-wait %v: must be >= 0", c.maxWait)
+	}
+	if c.queue < 0 {
+		return fmt.Errorf("-queue %d: must be >= 0", c.queue)
+	}
+	if c.timeout <= 0 {
+		return fmt.Errorf("-timeout %v: must be > 0", c.timeout)
+	}
+	return nil
+}
+
+func run(cfg runConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
 	}
 	world, err := synth.NewWorld(synth.DefaultConfig())
 	if err != nil {

@@ -1,0 +1,140 @@
+package crossmodal_test
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"crossmodal"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from the current pipeline output")
+
+// goldenResult is the checked-in fingerprint of one full pipeline run at a
+// fixed seed. Floats are compared exactly: the pipeline is deterministic by
+// construction (seeded splitmix64 streams, deterministic gradient sharding),
+// so any drift here means a behavior change, not noise.
+type goldenResult struct {
+	Task        string    `json:"task"`
+	LFCount     int       `json:"lf_count"`
+	PropIters   int       `json:"prop_iters"`
+	WSPrecision float64   `json:"ws_precision"`
+	WSRecall    float64   `json:"ws_recall"`
+	WSF1        float64   `json:"ws_f1"`
+	WSCoverage  float64   `json:"ws_coverage"`
+	AUPRC       float64   `json:"auprc"`
+	Scores      []float64 `json:"scores"` // first test points, in order
+}
+
+// TestGoldenPipeline runs the full pipeline — featurization, LF mining,
+// label propagation, generative label model, early-fusion training, test
+// scoring — at a fixed seed with pinned parallelism and compares the result
+// bit-for-bit against testdata/golden_pipeline.json. Regenerate with:
+//
+//	go test -run TestGoldenPipeline -update .
+func TestGoldenPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	ctx := context.Background()
+
+	world := crossmodal.MustWorld(crossmodal.DefaultWorldConfig())
+	lib, err := crossmodal.StandardLibrary(world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := crossmodal.TaskByName("CT1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := crossmodal.BuildDataset(world, task, crossmodal.DatasetConfig{
+		Seed: 41, NumText: 2000, NumUnlabeledImage: 800, NumHandLabelPool: 200, NumTest: 600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := crossmodal.DefaultOptions()
+	opts.Seed = 41
+	opts.Workers = 2 // pinned: golden bytes must not depend on GOMAXPROCS
+	opts.MaxGraphSeeds, opts.GraphDevNodes = 600, 200
+	pipe, err := crossmodal.NewPipeline(lib, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pipe.Run(ctx, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auprc, err := pipe.EvaluateAUPRC(ctx, res.Predictor, ds.TestImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nScores = 8
+	vecs, err := pipe.Featurize(ctx, ds.TestImage[:nScores])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := goldenResult{
+		Task:        res.Report.Task,
+		LFCount:     res.Report.LFCount,
+		PropIters:   res.Report.PropIters,
+		WSPrecision: res.Report.WSPrecision,
+		WSRecall:    res.Report.WSRecall,
+		WSF1:        res.Report.WSF1,
+		WSCoverage:  res.Report.WSCoverage,
+		AUPRC:       auprc,
+		Scores:      res.Predictor.PredictBatch(vecs),
+	}
+
+	path := filepath.Join("testdata", "golden_pipeline.json")
+	if *updateGolden {
+		raw, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file updated: %s", path)
+		return
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with -update): %v", err)
+	}
+	var want goldenResult
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if got.Task != want.Task || got.LFCount != want.LFCount || got.PropIters != want.PropIters {
+		t.Errorf("curation shape drifted: got task=%s lfs=%d iters=%d, want task=%s lfs=%d iters=%d",
+			got.Task, got.LFCount, got.PropIters, want.Task, want.LFCount, want.PropIters)
+	}
+	exact := func(name string, g, w float64) {
+		if g != w {
+			t.Errorf("%s = %v, golden %v (bit drift)", name, g, w)
+		}
+	}
+	exact("ws_precision", got.WSPrecision, want.WSPrecision)
+	exact("ws_recall", got.WSRecall, want.WSRecall)
+	exact("ws_f1", got.WSF1, want.WSF1)
+	exact("ws_coverage", got.WSCoverage, want.WSCoverage)
+	exact("auprc", got.AUPRC, want.AUPRC)
+	if len(got.Scores) != len(want.Scores) {
+		t.Fatalf("score count %d, golden %d", len(got.Scores), len(want.Scores))
+	}
+	for i := range got.Scores {
+		if got.Scores[i] != want.Scores[i] {
+			t.Errorf("score[%d] = %v, golden %v (bit drift)", i, got.Scores[i], want.Scores[i])
+		}
+	}
+}

@@ -241,6 +241,11 @@ func (v Value) HasCategory(c string) bool {
 type Vector struct {
 	schema *Schema
 	values []Value
+	// degraded lists channels whose service calls failed when this vector
+	// was featurized through the checked path: their values are Missing not
+	// because the resource abstained but because it was unreachable. The
+	// annotation is in-memory only (it does not persist through JSON).
+	degraded []string
 }
 
 // NewVector returns an all-missing vector for schema.
@@ -298,6 +303,20 @@ func (v *Vector) Get(name string) Value {
 // At returns the value at schema position i.
 func (v *Vector) At(i int) Value { return v.values[i] }
 
+// MarkDegraded records channels whose featurization failed (a copy is
+// taken). Passing an empty slice clears the annotation.
+func (v *Vector) MarkDegraded(channels []string) {
+	if len(channels) == 0 {
+		v.degraded = nil
+		return
+	}
+	v.degraded = append([]string(nil), channels...)
+}
+
+// Degraded returns the channels recorded by MarkDegraded (nil for a fully
+// featurized vector). Callers must not mutate the returned slice.
+func (v *Vector) Degraded() []string { return v.degraded }
+
 // Reproject copies the vector onto target, carrying over values for features
 // that exist in both schemas (matched by name) and leaving the rest missing.
 func (v *Vector) Reproject(target *Schema) *Vector {
@@ -313,6 +332,9 @@ func (v *Vector) Reproject(target *Schema) *Vector {
 // Clone returns a deep copy of the vector.
 func (v *Vector) Clone() *Vector {
 	out := &Vector{schema: v.schema, values: make([]Value, len(v.values))}
+	if v.degraded != nil {
+		out.degraded = append([]string(nil), v.degraded...)
+	}
 	for i, val := range v.values {
 		cp := val
 		if val.Categories != nil {

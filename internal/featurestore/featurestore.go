@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"crossmodal/internal/feature"
 	"crossmodal/internal/mapreduce"
@@ -35,6 +36,8 @@ import (
 type Store struct {
 	lib      *resource.Library
 	capacity int
+	ttl      time.Duration    // 0 = entries never go stale
+	now      func() time.Time // clock seam for TTL tests
 
 	mu        sync.Mutex
 	entries   map[int]*list.Element // point ID → LRU element
@@ -44,6 +47,21 @@ type Store struct {
 	misses    int
 	evicted   int
 	coalesced int
+	stale     uint64 // stale vectors served because recomputation failed
+	degraded  uint64 // vectors served with a degraded-channels annotation
+}
+
+// Options configures a store beyond the library it fronts.
+type Options struct {
+	// Capacity bounds the cache (<= 0 means unbounded).
+	Capacity int
+	// TTL makes cached vectors stale after this age: a stale hit triggers
+	// recomputation, but on resource failure the stale copy is served
+	// instead (counted by StaleServed). 0 disables staleness — every hit is
+	// fresh forever, exactly the pre-degradation behavior.
+	TTL time.Duration
+	// Now is the clock used for TTL decisions (nil = time.Now).
+	Now func() time.Time
 }
 
 // inflight is one in-progress featurization another goroutine may wait on.
@@ -58,19 +76,31 @@ type inflight struct {
 
 // cacheEntry is one LRU slot.
 type cacheEntry struct {
-	id  int
-	vec *feature.Vector
+	id       int
+	vec      *feature.Vector
+	storedAt time.Time // zero unless the store has a TTL
 }
 
 // New builds a store over lib holding at most capacity vectors (capacity <=
 // 0 means unbounded).
 func New(lib *resource.Library, capacity int) (*Store, error) {
+	return NewWithOptions(lib, Options{Capacity: capacity})
+}
+
+// NewWithOptions builds a store over lib under opts.
+func NewWithOptions(lib *resource.Library, opts Options) (*Store, error) {
 	if lib == nil {
 		return nil, fmt.Errorf("featurestore: nil library")
 	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
 	return &Store{
 		lib:      lib,
-		capacity: capacity,
+		capacity: opts.Capacity,
+		ttl:      opts.TTL,
+		now:      now,
 		entries:  make(map[int]*list.Element),
 		lru:      list.New(),
 		pending:  make(map[int]*inflight),
@@ -102,6 +132,23 @@ func (s *Store) Coalesced() int {
 	return s.coalesced
 }
 
+// StaleServed reports how many requests were answered with a stale cached
+// vector because recomputing it through the resources failed.
+func (s *Store) StaleServed() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stale
+}
+
+// DegradedServed reports how many requests were answered with a vector
+// carrying a degraded-channels annotation (some service calls failed, no
+// stale copy existed). Degraded vectors are never cached.
+func (s *Store) DegradedServed() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
+
 // insert stores a vector under a point ID, evicting the least recently used
 // entry when over capacity.
 func (s *Store) insert(id int, vec *feature.Vector) {
@@ -112,12 +159,18 @@ func (s *Store) insert(id int, vec *feature.Vector) {
 
 // insertLocked is insert with s.mu already held.
 func (s *Store) insertLocked(id int, vec *feature.Vector) {
+	var at time.Time
+	if s.ttl > 0 {
+		at = s.now()
+	}
 	if el, ok := s.entries[id]; ok {
-		el.Value.(*cacheEntry).vec = vec
+		ent := el.Value.(*cacheEntry)
+		ent.vec = vec
+		ent.storedAt = at
 		s.lru.MoveToFront(el)
 		return
 	}
-	s.entries[id] = s.lru.PushFront(&cacheEntry{id: id, vec: vec})
+	s.entries[id] = s.lru.PushFront(&cacheEntry{id: id, vec: vec, storedAt: at})
 	if s.capacity > 0 && s.lru.Len() > s.capacity {
 		oldest := s.lru.Back()
 		s.lru.Remove(oldest)
@@ -135,6 +188,14 @@ func (s *Store) insertLocked(id int, vec *feature.Vector) {
 // Concurrent calls that miss on the same ID coalesce: one caller computes,
 // the others wait for its result. A nil ctx is treated as
 // context.Background().
+//
+// When the library is guarded (resource.Library.WithGuards), failures
+// degrade gracefully per point: a stale cached vector (older than TTL) is
+// served if recomputation fails; otherwise the vector is returned with its
+// failed channels missing and annotated via feature.Vector.Degraded (and
+// not cached). Only a point with no surviving channels and no stale copy
+// fails the call — its error wraps resource.ErrUnavailable, plus
+// resource.ErrBreakerOpen when a breaker caused it.
 func (s *Store) Featurize(ctx context.Context, cfg mapreduce.Config, pts []*synth.Point) ([]*feature.Vector, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -143,15 +204,23 @@ func (s *Store) Featurize(ctx context.Context, cfg mapreduce.Config, pts []*synt
 	var mine []*synth.Point // misses this call owns and computes
 	var mineIdx []int
 	var mineFl []*inflight
-	var waitFl []*inflight // misses another goroutine is already computing
+	var mineStale []*feature.Vector // stale fallback per owned miss (or nil)
+	var waitFl []*inflight          // misses another goroutine is already computing
 	var waitIdx []int
 	s.mu.Lock()
 	for i, p := range pts {
+		var staleVec *feature.Vector
 		if el, ok := s.entries[p.ID]; ok {
-			s.hits++
-			s.lru.MoveToFront(el)
-			out[i] = el.Value.(*cacheEntry).vec
-			continue
+			ent := el.Value.(*cacheEntry)
+			if s.ttl <= 0 || s.now().Sub(ent.storedAt) <= s.ttl {
+				s.hits++
+				s.lru.MoveToFront(el)
+				out[i] = ent.vec
+				continue
+			}
+			// Past TTL: recompute, but keep the old vector as the
+			// degradation fallback.
+			staleVec = ent.vec
 		}
 		s.misses++
 		if fl, ok := s.pending[p.ID]; ok {
@@ -165,25 +234,13 @@ func (s *Store) Featurize(ctx context.Context, cfg mapreduce.Config, pts []*synt
 		mine = append(mine, p)
 		mineIdx = append(mineIdx, i)
 		mineFl = append(mineFl, fl)
+		mineStale = append(mineStale, staleVec)
 	}
 	s.mu.Unlock()
 
 	var computeErr error
 	if len(mine) > 0 {
-		computed, err := s.lib.Featurize(ctx, cfg, mine)
-		computeErr = err
-		s.mu.Lock()
-		for j, fl := range mineFl {
-			if err != nil {
-				fl.err = err
-			} else {
-				fl.vec = computed[j]
-				out[mineIdx[j]] = computed[j]
-				s.insertLocked(mine[j].ID, computed[j])
-			}
-			delete(s.pending, mine[j].ID)
-		}
-		s.mu.Unlock()
+		computeErr = s.computeMisses(ctx, cfg, out, mine, mineIdx, mineFl, mineStale)
 		// Release waiters only after the pending entries are gone, so a
 		// waiter that retries cleanly becomes a fresh owner.
 		for _, fl := range mineFl {
@@ -205,6 +262,83 @@ func (s *Store) Featurize(ctx context.Context, cfg mapreduce.Config, pts []*synt
 		return nil, computeErr
 	}
 	return out, nil
+}
+
+// computeMisses featurizes the misses this call owns, fills out, resolves
+// the inflight slots, and removes the pending entries. It returns the error
+// the overall Featurize call should fail with, if any.
+func (s *Store) computeMisses(ctx context.Context, cfg mapreduce.Config, out []*feature.Vector,
+	mine []*synth.Point, mineIdx []int, mineFl []*inflight, mineStale []*feature.Vector) error {
+
+	if !s.lib.Guarded() {
+		computed, err := s.lib.Featurize(ctx, cfg, mine)
+		s.mu.Lock()
+		for j, fl := range mineFl {
+			if err != nil {
+				fl.err = err
+			} else {
+				fl.vec = computed[j]
+				out[mineIdx[j]] = computed[j]
+				s.insertLocked(mine[j].ID, computed[j])
+			}
+			delete(s.pending, mine[j].ID)
+		}
+		s.mu.Unlock()
+		return err
+	}
+
+	checked, err := s.lib.FeaturizeChecked(ctx, cfg, mine)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	for j, fl := range mineFl {
+		delete(s.pending, mine[j].ID)
+		if err != nil { // context cancellation: nothing was computed
+			fl.err = err
+			continue
+		}
+		c := checked[j]
+		serveStale := func() {
+			s.stale++
+			fl.vec = mineStale[j]
+			out[mineIdx[j]] = mineStale[j]
+			// Keep the entry warm in the LRU but leave storedAt alone: it
+			// stays stale, so the next access retries the resources.
+			if el, ok := s.entries[mine[j].ID]; ok {
+				s.lru.MoveToFront(el)
+			}
+		}
+		switch {
+		case c.Err != nil:
+			if mineStale[j] != nil {
+				serveStale()
+				continue
+			}
+			fl.err = c.Err
+			if firstErr == nil {
+				firstErr = c.Err
+			}
+		case len(c.Failed) > 0:
+			// A complete stale vector beats a freshly degraded one.
+			if mineStale[j] != nil {
+				serveStale()
+				continue
+			}
+			c.Vec.MarkDegraded(c.Failed)
+			s.degraded++
+			fl.vec = c.Vec
+			out[mineIdx[j]] = c.Vec
+			// Not cached: a later retry may well produce the full vector.
+		default:
+			fl.vec = c.Vec
+			out[mineIdx[j]] = c.Vec
+			s.insertLocked(mine[j].ID, c.Vec)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	return firstErr
 }
 
 // persistedRow is the JSONL wire form of one cached vector.

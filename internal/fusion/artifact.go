@@ -46,9 +46,12 @@ var artifactMagic = [8]byte{'X', 'M', 'O', 'D', 'A', 'R', 'T', '1'}
 
 const artifactVersion = 1
 
-// maxArtifactSection caps the kind and payload lengths Load will read, so a
-// corrupt header cannot trigger an absurd allocation.
-const maxArtifactSection = 1 << 30
+// maxArtifactSection caps the payload length Load will read, and maxKindLen
+// the kind string, so a corrupt header cannot trigger an absurd allocation.
+const (
+	maxArtifactSection = 1 << 30
+	maxKindLen         = 64
+)
 
 // earlyWire is the gob form of EarlyModel.
 type earlyWire struct {
@@ -216,7 +219,7 @@ func Load(r io.Reader) (Predictor, string, error) {
 	if err := binary.Read(r, binary.LittleEndian, &kindLen); err != nil {
 		return nil, "", fmt.Errorf("fusion: read artifact kind: %w", err)
 	}
-	if kindLen == 0 || kindLen > maxArtifactSection {
+	if kindLen == 0 || kindLen > maxKindLen {
 		return nil, "", fmt.Errorf("fusion: implausible artifact kind length %d", kindLen)
 	}
 	kindBytes := make([]byte, kindLen)
@@ -224,6 +227,13 @@ func Load(r io.Reader) (Predictor, string, error) {
 		return nil, "", fmt.Errorf("fusion: read artifact kind: %w", err)
 	}
 	kind := string(kindBytes)
+	switch kind {
+	case KindEarly, KindIntermediate, KindDeViSE:
+	default:
+		// Reject before touching the payload: a garbage kind means a
+		// garbage payload length too.
+		return nil, "", fmt.Errorf("fusion: unknown artifact kind %q", kind)
+	}
 	var payloadLen uint64
 	if err := binary.Read(r, binary.LittleEndian, &payloadLen); err != nil {
 		return nil, "", fmt.Errorf("fusion: read artifact payload length: %w", err)
@@ -231,10 +241,14 @@ func Load(r io.Reader) (Predictor, string, error) {
 	if payloadLen == 0 || payloadLen > maxArtifactSection {
 		return nil, "", fmt.Errorf("fusion: implausible artifact payload length %d", payloadLen)
 	}
-	payload := make([]byte, payloadLen)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, "", fmt.Errorf("fusion: read artifact payload: %w", err)
+	// Copy progressively instead of allocating payloadLen up front: a
+	// truncated stream whose header lies about its length then costs only
+	// the bytes actually present.
+	var payloadBuf bytes.Buffer
+	if n, err := io.CopyN(&payloadBuf, r, int64(payloadLen)); err != nil {
+		return nil, "", fmt.Errorf("fusion: read artifact payload (%d of %d bytes): %w", n, payloadLen, err)
 	}
+	payload := payloadBuf.Bytes()
 	var sum uint32
 	if err := binary.Read(r, binary.LittleEndian, &sum); err != nil {
 		return nil, "", fmt.Errorf("fusion: read artifact checksum: %w", err)

@@ -1,0 +1,153 @@
+package resource
+
+import (
+	"sync"
+	"time"
+)
+
+// Circuit breaker for organizational-service calls. The paper's production
+// setting (like Snorkel DryBell's) draws weak-supervision signals from
+// remote services that throttle and brown out; a breaker stops a failing
+// service from absorbing every caller's retry budget, and its state is the
+// primary health signal the serving layer exports.
+
+// BreakerState is one of the three classic circuit-breaker states.
+type BreakerState int32
+
+const (
+	// BreakerClosed: calls flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: calls are rejected until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe call is admitted; its outcome decides
+	// whether the breaker closes again or re-opens.
+	BreakerHalfOpen
+)
+
+// String renders the state for metrics and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a consecutive-failure circuit breaker:
+//
+//	closed    --threshold consecutive failures-->  open
+//	open      --cooldown elapsed, next Allow-->    half-open (probe admitted)
+//	half-open --probe success-->                   closed
+//	half-open --probe failure-->                   open (cooldown restarts)
+//
+// The clock is injectable so chaos and property tests drive transitions
+// deterministically. All methods are safe for concurrent use.
+type Breaker struct {
+	threshold int           // consecutive failures that trip the breaker
+	cooldown  time.Duration // open → half-open delay
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	consec   int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+	probing  bool      // a half-open probe is in flight
+
+	opens uint64 // times the breaker tripped (closed/half-open → open)
+}
+
+// NewBreaker builds a breaker tripping after threshold consecutive failures
+// and probing after cooldown. threshold <= 0 disables tripping (the breaker
+// stays closed forever). now may be nil (wall clock).
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether a call may proceed. In the open state it returns
+// false until the cooldown elapses, then admits exactly one half-open probe;
+// further calls are rejected until that probe reports Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // BreakerHalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success reports a call outcome. A half-open probe success closes the
+// breaker; a success that lands while open (a straggler admitted before the
+// trip) changes nothing.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.consec = 0
+	case BreakerHalfOpen:
+		b.state = BreakerClosed
+		b.consec = 0
+		b.probing = false
+	}
+}
+
+// Failure reports a call outcome. The threshold-th consecutive failure while
+// closed trips the breaker; a half-open probe failure re-opens it.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.consec++
+		if b.threshold > 0 && b.consec >= b.threshold {
+			b.trip()
+		}
+	case BreakerHalfOpen:
+		b.trip()
+		b.probing = false
+	}
+}
+
+// trip moves to open; callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.consec = 0
+	b.opens++
+}
+
+// State returns the current state without side effects (an open breaker past
+// its cooldown still reports open until an Allow admits the probe).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens returns how many times the breaker has tripped.
+func (b *Breaker) Opens() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

@@ -1,0 +1,222 @@
+package resource
+
+import (
+	"testing"
+	"time"
+
+	"crossmodal/internal/xrand"
+)
+
+// The breaker property suite models the circuit breaker as an explicit state
+// machine and checks the implementation against it over thousands of
+// xrand-generated event sequences: every Allow verdict and every state must
+// match the model, and every observed transition must be a legal edge of the
+// closed/open/half-open diagram.
+
+// modelBreaker is the independent reference implementation of the breaker's
+// specification (written against the doc comment, not the code).
+type modelBreaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	state    BreakerState
+	consec   int
+	openedAt time.Time
+	probing  bool
+}
+
+func (m *modelBreaker) allow(now time.Time) bool {
+	switch m.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now.Sub(m.openedAt) < m.cooldown {
+			return false
+		}
+		m.state = BreakerHalfOpen
+		m.probing = true
+		return true
+	default:
+		if m.probing {
+			return false
+		}
+		m.probing = true
+		return true
+	}
+}
+
+func (m *modelBreaker) success() {
+	switch m.state {
+	case BreakerClosed:
+		m.consec = 0
+	case BreakerHalfOpen:
+		m.state = BreakerClosed
+		m.consec = 0
+		m.probing = false
+	}
+}
+
+func (m *modelBreaker) failure(now time.Time) {
+	trip := func() {
+		m.state = BreakerOpen
+		m.openedAt = now
+		m.consec = 0
+	}
+	switch m.state {
+	case BreakerClosed:
+		m.consec++
+		if m.threshold > 0 && m.consec >= m.threshold {
+			trip()
+		}
+	case BreakerHalfOpen:
+		trip()
+		m.probing = false
+	}
+}
+
+// legalEdge reports whether from → to is an edge of the breaker diagram
+// (self-loops always allowed).
+func legalEdge(from, to BreakerState) bool {
+	if from == to {
+		return true
+	}
+	switch {
+	case from == BreakerClosed && to == BreakerOpen:
+		return true // threshold consecutive failures
+	case from == BreakerOpen && to == BreakerHalfOpen:
+		return true // cooldown elapsed, probe admitted
+	case from == BreakerHalfOpen && to == BreakerClosed:
+		return true // probe success
+	case from == BreakerHalfOpen && to == BreakerOpen:
+		return true // probe failure
+	default:
+		return false
+	}
+}
+
+// TestBreakerPropertyAgainstModel drives 1500 generated event sequences
+// (allow / success / failure / clock advance) through the breaker and the
+// model in lockstep.
+func TestBreakerPropertyAgainstModel(t *testing.T) {
+	const sequences = 1500
+	const opsPerSeq = 60
+	for seq := 0; seq < sequences; seq++ {
+		rng := xrand.New(int64(1000 + seq))
+		threshold := 1 + rng.Intn(5)
+		cooldown := time.Duration(1+rng.Intn(50)) * time.Millisecond
+
+		now := time.Unix(0, 0)
+		clock := func() time.Time { return now }
+		b := NewBreaker(threshold, cooldown, clock)
+		m := &modelBreaker{threshold: threshold, cooldown: cooldown}
+
+		prev := b.State()
+		for op := 0; op < opsPerSeq; op++ {
+			switch rng.Intn(4) {
+			case 0:
+				got, want := b.Allow(), m.allow(now)
+				if got != want {
+					t.Fatalf("seq %d op %d: Allow = %v, model says %v (state %v)", seq, op, got, want, prev)
+				}
+			case 1:
+				b.Success()
+				m.success()
+			case 2:
+				b.Failure()
+				m.failure(now)
+			case 3:
+				now = now.Add(time.Duration(rng.Intn(int(2 * cooldown))))
+			}
+			cur := b.State()
+			if cur != m.state {
+				t.Fatalf("seq %d op %d: state %v, model %v", seq, op, cur, m.state)
+			}
+			if !legalEdge(prev, cur) {
+				t.Fatalf("seq %d op %d: illegal transition %v → %v", seq, op, prev, cur)
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestBreakerScriptedTransitions pins the canonical lifecycle edge by edge.
+func TestBreakerScriptedTransitions(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(3, 100*time.Millisecond, func() time.Time { return now })
+
+	// Closed: failures below threshold don't trip.
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker rejected a call")
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2/3 failures = %v", b.State())
+	}
+	// A success resets the consecutive count.
+	b.Success()
+	for i := 0; i < 2; i++ {
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("success did not reset consecutive-failure count")
+	}
+	// Third consecutive failure trips it.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", b.State())
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("opens = %d, want 1", b.Opens())
+	}
+	// Open rejects until cooldown.
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call before cooldown")
+	}
+	now = now.Add(99 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call 1ms before cooldown")
+	}
+	// Cooldown elapses: exactly one probe is admitted.
+	now = now.Add(time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe rejected")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after probe admission = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// Probe failure reopens; another cooldown, probe success closes.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after probe failure = %v, want open", b.State())
+	}
+	now = now.Add(100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second probe rejected")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", b.State())
+	}
+	if b.Opens() != 2 {
+		t.Fatalf("opens = %d, want 2", b.Opens())
+	}
+}
+
+// TestBreakerDisabled: a non-positive threshold never trips.
+func TestBreakerDisabled(t *testing.T) {
+	b := NewBreaker(-1, time.Millisecond, nil)
+	for i := 0; i < 100; i++ {
+		if !b.Allow() {
+			t.Fatal("disabled breaker rejected a call")
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("disabled breaker state = %v", b.State())
+	}
+}

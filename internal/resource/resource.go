@@ -56,11 +56,14 @@ type Resource interface {
 }
 
 // Library is a collection of resources applied together to build the common
-// feature space.
+// feature space. A library built WithGuards additionally carries per-resource
+// retry/breaker guards for the checked featurization path; Subset and
+// NewLibrary always produce unguarded libraries.
 type Library struct {
 	world     *synth.World
 	resources []Resource
 	schema    *feature.Schema
+	guards    []*Guard // nil unless built WithGuards
 }
 
 // NewLibrary assembles a library. Resource feature names must be unique.
@@ -103,6 +106,27 @@ func (l *Library) Subset(sets ...string) (*Library, error) {
 	return NewLibrary(l.world, keep...)
 }
 
+// Applicable reports whether resource r can featurize point p at all (video
+// points are served through the image channel, frame by frame).
+func Applicable(r Resource, p *synth.Point) bool {
+	if p.Modality == synth.Video {
+		return r.Supports(synth.Image)
+	}
+	return r.Supports(p.Modality)
+}
+
+// ObservePoint renders one resource's view of one point: the unit of work a
+// single "service call" performs, including the per-frame merge for video
+// points. It is the seam the fault-injection layer wraps — a failure of one
+// ObservePoint is the failure of one organizational-service call.
+// Callers must check Applicable first.
+func ObservePoint(r Resource, p *synth.Point) feature.Value {
+	if p.Modality == synth.Video {
+		return observeVideo(r, p)
+	}
+	return r.Observe(p.Entity, p.Modality, p.ObservationRNG(r.Def().Name))
+}
+
 // FeaturizePoint runs every applicable resource on one point and returns its
 // feature vector under the library schema. Resources that do not support the
 // point's modality leave their feature missing. Video points are split into
@@ -110,22 +134,12 @@ func (l *Library) Subset(sets ...string) (*Library, error) {
 func (l *Library) FeaturizePoint(p *synth.Point) *feature.Vector {
 	v := feature.NewVector(l.schema)
 	for _, r := range l.resources {
-		name := r.Def().Name
-		var val feature.Value
-		switch {
-		case p.Modality == synth.Video:
-			if !r.Supports(synth.Image) {
-				continue
-			}
-			val = l.observeVideo(r, p)
-		case r.Supports(p.Modality):
-			val = r.Observe(p.Entity, p.Modality, p.ObservationRNG(name))
-		default:
+		if !Applicable(r, p) {
 			continue
 		}
 		// Set cannot fail: name comes from the schema and resources
 		// produce kind-correct values.
-		v.MustSet(name, val)
+		v.MustSet(r.Def().Name, ObservePoint(r, p))
 	}
 	return v
 }
@@ -133,7 +147,7 @@ func (l *Library) FeaturizePoint(p *synth.Point) *feature.Vector {
 // observeVideo merges per-frame image observations: categorical values
 // union, numeric and embedding values average; all-missing frames leave the
 // feature missing.
-func (l *Library) observeVideo(r Resource, p *synth.Point) feature.Value {
+func observeVideo(r Resource, p *synth.Point) feature.Value {
 	d := r.Def()
 	frames := p.Frames
 	if frames <= 0 {

@@ -80,8 +80,11 @@ type response struct {
 
 // ExecFunc scores one batch of points and returns their scores plus the
 // sequence number of the model that produced them. It must be safe for
-// concurrent use when BatcherConfig.Executors > 1.
-type ExecFunc func(pts []*synth.Point) ([]float64, uint64, error)
+// concurrent use when BatcherConfig.Executors > 1. ctx carries the batch's
+// scoring budget — the latest deadline among the batch's live requests — so
+// featurization work under it is abandoned once no request can still use
+// the result.
+type ExecFunc func(ctx context.Context, pts []*synth.Point) ([]float64, uint64, error)
 
 // Batcher coalesces single-point requests into batches. Create with
 // NewBatcher, feed with Submit, stop with Close.
@@ -248,7 +251,26 @@ func (b *Batcher) run(batch []*request) {
 	for i, req := range live {
 		pts[i] = req.pt
 	}
-	scores, seq, err := b.exec(pts)
+	// The batch runs under the latest deadline any live request still has;
+	// requests without deadlines leave the batch unbounded.
+	ctx := context.Background()
+	var latest time.Time
+	bounded := true
+	for _, req := range live {
+		if req.deadline.IsZero() {
+			bounded = false
+			break
+		}
+		if req.deadline.After(latest) {
+			latest = req.deadline
+		}
+	}
+	if bounded {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, latest)
+		defer cancel()
+	}
+	scores, seq, err := b.exec(ctx, pts)
 	if err != nil {
 		for _, req := range live {
 			req.done <- response{err: err}

@@ -19,7 +19,7 @@ type countingExec struct {
 	block   chan struct{} // when non-nil, exec waits on it
 }
 
-func (e *countingExec) exec(pts []*synth.Point) ([]float64, uint64, error) {
+func (e *countingExec) exec(_ context.Context, pts []*synth.Point) ([]float64, uint64, error) {
 	if e.block != nil {
 		<-e.block
 	}
