@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test build bench bench-json race serve-bench chaos
+.PHONY: check test build bench bench-json race serve-bench chaos cover cover-check trace-smoke
 
 ## check: tier-1 gate — build everything, vet it, run every test.
 check:
@@ -32,7 +32,39 @@ bench-json:
 ## race: race-detector pass over the concurrent packages (training engine,
 ## mapreduce, label propagation, feature encoding, feature store, serving).
 race:
-	$(GO) test -race ./internal/model/ ./internal/mapreduce/ ./internal/labelprop/ ./internal/feature/ ./internal/featurestore/ ./internal/serve/
+	$(GO) test -race ./internal/model/ ./internal/mapreduce/ ./internal/labelprop/ ./internal/feature/ ./internal/featurestore/ ./internal/serve/ ./internal/trace/
+
+## cover: per-package statement coverage for the whole module.
+cover:
+	$(GO) test -count=1 -cover ./...
+
+## cover-check: the coverage regression gate — every internal/ package must
+## stay at or above its floor in coverage_baseline.txt. A package missing
+## from the test output (deleted or failing) also fails the gate.
+cover-check:
+	@$(GO) test -count=1 -cover ./internal/... > cover.out || { cat cover.out; rm -f cover.out; exit 1; }
+	@awk 'NR==FNR { if ($$0 !~ /^#/ && NF >= 2) base[$$1]=$$2; next } \
+	  /coverage:/ { pkg=$$2; cov=$$5; gsub(/%/,"",cov); seen[pkg]=1; \
+	    if (pkg in base) { \
+	      if (cov+0 < base[pkg]+0) { printf "FAIL  %s  %.1f%% < baseline %.1f%%\n", pkg, cov, base[pkg]; bad=1 } \
+	      else { printf "ok    %s  %.1f%% (floor %.1f%%)\n", pkg, cov, base[pkg] } } \
+	    else { printf "note  %s  %.1f%% (no baseline — add to coverage_baseline.txt)\n", pkg, cov } } \
+	  END { for (pkg in base) if (!(pkg in seen)) { printf "FAIL  %s  in baseline but produced no coverage line\n", pkg; bad=1 } exit bad }' \
+	  coverage_baseline.txt cover.out; status=$$?; rm -f cover.out; exit $$status
+
+## trace-smoke: run the traced pipeline under the race detector — the golden
+## run must stay bit-identical with spans enabled — then produce a real
+## Chrome trace from a small experiments run and sanity-check it is JSON.
+trace-smoke:
+	$(GO) test -race -count=1 -run 'TestGoldenPipelineTraced' .
+	mkdir -p bin
+	$(GO) run -race ./cmd/experiments -run rawvsfeat -tasks CT1 -scale 0.05 -trace bin/trace-smoke.json -trace-summary >/dev/null
+	@grep -q '"traceEvents"' bin/trace-smoke.json || { echo "trace-smoke: not a Chrome trace"; exit 1; }
+	@for stage in featurize mining labelprop labelmodel train eval; do \
+		grep -q "\"name\": \"$$stage\"" bin/trace-smoke.json \
+			|| { echo "trace-smoke: stage $$stage missing from trace"; exit 1; }; \
+	done
+	@echo "trace-smoke: bin/trace-smoke.json covers all pipeline stages"
 
 ## chaos: the failure-injection gate — seeded chaos suites across resource /
 ## featurestore / serve, the breaker property suite (1500 generated event

@@ -8,8 +8,10 @@
 //	go test ./... -bench . -benchmem | benchjson [-o out.json]
 //
 // Lines that are not benchmark results (pkg headers, PASS/ok trailers) pass
-// through to the metadata section or are dropped; parsing never fails on
-// extra output.
+// through to the metadata section or are dropped. Input containing no
+// benchmark results at all is an error — it means the bench run produced
+// nothing (wrong -bench pattern, build failure upstream of the pipe), and
+// silently archiving an empty document would hide that.
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strconv"
@@ -47,27 +50,10 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
-	doc := Doc{Results: []Result{}}
-	pkg := ""
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "pkg:"):
-			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
-		case strings.HasPrefix(line, "cpu:"):
-			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
-		case strings.HasPrefix(line, "Benchmark"):
-			if r, ok := parseLine(line, pkg); ok {
-				doc.Results = append(doc.Results, r)
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
+	doc, err := parse(os.Stdin)
+	if err != nil {
 		log.Fatal(err)
 	}
-
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -81,6 +67,35 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(doc.Results), *out)
+}
+
+// parse reads `go test -bench` text output and collects every benchmark
+// result line. It fails when the input holds no benchmark results.
+func parse(r io.Reader) (Doc, error) {
+	doc := Doc{Results: []Result{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if res, ok := parseLine(line, pkg); ok {
+				doc.Results = append(doc.Results, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Doc{}, err
+	}
+	if len(doc.Results) == 0 {
+		return Doc{}, fmt.Errorf("no benchmark results in input (expected `go test -bench` output)")
+	}
+	return doc, nil
 }
 
 // parseLine parses one "BenchmarkName-8  123  456 ns/op  7 B/op  8 allocs/op"

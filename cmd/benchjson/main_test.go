@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden parse fixture")
+
+// TestParseGolden parses a captured `go test -bench` transcript and compares
+// the normalized document against the checked-in golden JSON.
+func TestParseGolden(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "bench.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	doc, err := parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "bench.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("parse output drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestParseFields(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "bench.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	doc, err := parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.CPU != "AMD EPYC 7B13" {
+		t.Errorf("CPU = %q", doc.CPU)
+	}
+	if len(doc.Results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(doc.Results))
+	}
+	first := doc.Results[0]
+	if first.Name != "BenchmarkPipelineCurate" || first.Pkg != "crossmodal" {
+		t.Errorf("first = %+v", first)
+	}
+	if first.Iter != 5 || first.NsPerOp != 223456789 {
+		t.Errorf("first numbers = %+v", first)
+	}
+	if first.BytesPerOp == nil || *first.BytesPerOp != 12345678 {
+		t.Errorf("first BytesPerOp = %v", first.BytesPerOp)
+	}
+	if first.AllocsPerOp == nil || *first.AllocsPerOp != 98765 {
+		t.Errorf("first AllocsPerOp = %v", first.AllocsPerOp)
+	}
+	// Second result has no -benchmem columns.
+	if doc.Results[1].BytesPerOp != nil || doc.Results[1].AllocsPerOp != nil {
+		t.Errorf("second result should have no memory columns: %+v", doc.Results[1])
+	}
+	// Third result comes from the second package header.
+	if doc.Results[2].Pkg != "crossmodal/internal/model" {
+		t.Errorf("third pkg = %q", doc.Results[2].Pkg)
+	}
+}
+
+// TestParseRejectsEmptyInput is the regression test for silently archiving
+// an empty benchmark document.
+func TestParseRejectsEmptyInput(t *testing.T) {
+	for _, input := range []string{
+		"",
+		"PASS\nok  \tcrossmodal\t1.0s\n",
+		"garbage\nBenchmark but not a result line\n",
+	} {
+		if _, err := parse(strings.NewReader(input)); err == nil {
+			t.Errorf("parse(%q) succeeded, want zero-results error", input)
+		}
+	}
+}
+
+func TestParseLine(t *testing.T) {
+	tests := []struct {
+		line string
+		ok   bool
+		name string
+	}{
+		{"BenchmarkX-8 10 5 ns/op", true, "BenchmarkX"},
+		{"BenchmarkNoSuffix 10 5 ns/op", true, "BenchmarkNoSuffix"},
+		{"BenchmarkX-8 10 5", false, ""},
+		{"BenchmarkX-8 ten 5 ns/op", false, ""},
+		{"BenchmarkName-with-dash-4 7 3.5 ns/op", true, "BenchmarkName-with-dash"},
+	}
+	for _, tt := range tests {
+		r, ok := parseLine(tt.line, "pkg")
+		if ok != tt.ok {
+			t.Errorf("parseLine(%q) ok = %v, want %v", tt.line, ok, tt.ok)
+			continue
+		}
+		if ok && r.Name != tt.name {
+			t.Errorf("parseLine(%q) name = %q, want %q", tt.line, r.Name, tt.name)
+		}
+	}
+}

@@ -7,6 +7,7 @@
 //
 //	crossmodal [-task CT1] [-scale 1.0] [-seed 17] [-fusion early|intermediate|devise]
 //	           [-no-labelprop] [-expert-lfs] [-workers N] [-v]
+//	           [-trace trace.json] [-trace-summary]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
@@ -14,6 +15,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -24,37 +26,92 @@ import (
 	"crossmodal/internal/profiling"
 	"crossmodal/internal/resource"
 	"crossmodal/internal/synth"
+	"crossmodal/internal/trace"
 )
+
+// runConfig carries the parsed flags; validate rejects bad combinations
+// before any corpus is built.
+type runConfig struct {
+	task         string
+	scale        float64
+	seed         int64
+	fusion       string
+	noLabelProp  bool
+	expertLFs    bool
+	workers      int
+	verbose      bool
+	cpuProfile   string
+	memProfile   string
+	tracePath    string
+	traceSummary bool
+}
+
+func (c runConfig) validate() error {
+	if _, err := synth.TaskByName(c.task); err != nil {
+		return err
+	}
+	if c.scale <= 0 {
+		return fmt.Errorf("-scale must be positive, got %v", c.scale)
+	}
+	if c.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", c.workers)
+	}
+	switch core.FusionKind(c.fusion) {
+	case core.EarlyFusion, core.IntermediateFusion, core.DeViSE:
+	default:
+		return fmt.Errorf("unknown fusion kind %q (want early, intermediate, or devise)", c.fusion)
+	}
+	return nil
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("crossmodal: ")
-	var (
-		taskName    = flag.String("task", "CT1", "classification task (CT1..CT5)")
-		scale       = flag.Float64("scale", 1.0, "corpus scale factor")
-		seed        = flag.Int64("seed", 17, "random seed")
-		fusionKind  = flag.String("fusion", "early", "fusion architecture: early, intermediate, devise")
-		noLabelProp = flag.Bool("no-labelprop", false, "disable the label-propagation LF")
-		expertLFs   = flag.Bool("expert-lfs", false, "use simulated-expert LFs instead of mining")
-		workers     = flag.Int("workers", 0, "worker goroutines per parallel stage (0 = GOMAXPROCS)")
-		verbose     = flag.Bool("v", false, "print per-LF development statistics")
-		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf     = flag.String("memprofile", "", "write a heap profile to this file on exit")
-	)
+	var cfg runConfig
+	flag.StringVar(&cfg.task, "task", "CT1", "classification task (CT1..CT5)")
+	flag.Float64Var(&cfg.scale, "scale", 1.0, "corpus scale factor")
+	flag.Int64Var(&cfg.seed, "seed", 17, "random seed")
+	flag.StringVar(&cfg.fusion, "fusion", "early", "fusion architecture: early, intermediate, devise")
+	flag.BoolVar(&cfg.noLabelProp, "no-labelprop", false, "disable the label-propagation LF")
+	flag.BoolVar(&cfg.expertLFs, "expert-lfs", false, "use simulated-expert LFs instead of mining")
+	flag.IntVar(&cfg.workers, "workers", 0, "worker goroutines per parallel stage (0 = GOMAXPROCS)")
+	flag.BoolVar(&cfg.verbose, "v", false, "print per-LF development statistics")
+	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile to this file on exit")
+	flag.StringVar(&cfg.tracePath, "trace", "", "write a Chrome trace_event JSON file (open in chrome://tracing or ui.perfetto.dev)")
+	flag.BoolVar(&cfg.traceSummary, "trace-summary", false, "print the aggregated stage tree to stderr on exit")
 	flag.Parse()
-	stopProf, err := profiling.Start(*cpuProf, *memProf)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := run(*taskName, *scale, *seed, *fusionKind, *noLabelProp, *expertLFs, *workers, *verbose); err != nil {
-		log.Fatal(err)
-	}
-	if err := stopProf(); err != nil {
+	if err := run(cfg); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(taskName string, scale float64, seed int64, fusionKind string, noLabelProp, expertLFs bool, workers int, verbose bool) error {
+func run(cfg runConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	stopProf, err := profiling.Start(cfg.cpuProfile, cfg.memProfile)
+	if err != nil {
+		return err
+	}
+	var summaryW io.Writer
+	if cfg.traceSummary {
+		summaryW = os.Stderr
+	}
+	stopTrace := trace.Capture(cfg.tracePath, summaryW)
+	if err := pipelineReport(cfg); err != nil {
+		return err
+	}
+	if err := stopTrace(); err != nil {
+		return err
+	}
+	return stopProf()
+}
+
+func pipelineReport(cfg runConfig) error {
+	taskName, scale, seed := cfg.task, cfg.scale, cfg.seed
+	fusionKind, noLabelProp, expertLFs := cfg.fusion, cfg.noLabelProp, cfg.expertLFs
+	workers, verbose := cfg.workers, cfg.verbose
 	ctx := context.Background()
 	world, err := synth.NewWorld(synth.DefaultConfig())
 	if err != nil {
@@ -142,7 +199,7 @@ func run(taskName string, scale float64, seed int64, fusionKind string, noLabelP
 	}
 	textSpec := pipe.DefaultTrainSpec()
 	textSpec.UseText, textSpec.UseImage = true, false
-	textPred, err := pipe.Train(res.Curation, textSpec)
+	textPred, err := pipe.Train(ctx, res.Curation, textSpec)
 	if err != nil {
 		return err
 	}
@@ -152,7 +209,7 @@ func run(taskName string, scale float64, seed int64, fusionKind string, noLabelP
 	}
 	imageSpec := pipe.DefaultTrainSpec()
 	imageSpec.UseText, imageSpec.UseImage = false, true
-	imagePred, err := pipe.Train(res.Curation, imageSpec)
+	imagePred, err := pipe.Train(ctx, res.Curation, imageSpec)
 	if err != nil {
 		return err
 	}

@@ -30,23 +30,51 @@ type record struct {
 	Features map[string]interface{} `json:"features"`
 }
 
+// runConfig carries the parsed flags; validate rejects bad combinations
+// before the world is built.
+type runConfig struct {
+	task   string
+	n      int
+	seed   int64
+	corpus string
+	out    string
+}
+
+func (c runConfig) validate() error {
+	if _, err := synth.TaskByName(c.task); err != nil {
+		return err
+	}
+	if c.n <= 0 {
+		return fmt.Errorf("-n must be positive, got %d", c.n)
+	}
+	switch c.corpus {
+	case "text", "image", "test":
+	default:
+		return fmt.Errorf("unknown corpus %q (want text, image, or test)", c.corpus)
+	}
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("datagen: ")
-	var (
-		taskName = flag.String("task", "CT1", "classification task (CT1..CT5)")
-		n        = flag.Int("n", 1000, "number of points per corpus")
-		seed     = flag.Int64("seed", 17, "random seed")
-		corpus   = flag.String("corpus", "text", "corpus to export: text, image, or test")
-		out      = flag.String("o", "", "output file (default stdout)")
-	)
+	var cfg runConfig
+	flag.StringVar(&cfg.task, "task", "CT1", "classification task (CT1..CT5)")
+	flag.IntVar(&cfg.n, "n", 1000, "number of points per corpus")
+	flag.Int64Var(&cfg.seed, "seed", 17, "random seed")
+	flag.StringVar(&cfg.corpus, "corpus", "text", "corpus to export: text, image, or test")
+	flag.StringVar(&cfg.out, "o", "", "output file (default stdout)")
 	flag.Parse()
-	if err := run(*taskName, *n, *seed, *corpus, *out); err != nil {
+	if err := run(cfg); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(taskName string, n int, seed int64, corpus, out string) error {
+func run(cfg runConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	taskName, n, seed, corpus, out := cfg.task, cfg.n, cfg.seed, cfg.corpus, cfg.out
 	world, err := synth.NewWorld(synth.DefaultConfig())
 	if err != nil {
 		return err

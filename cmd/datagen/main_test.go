@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goodConfig mirrors the flag defaults.
+func goodConfig() runConfig {
+	return runConfig{task: "CT1", n: 1000, seed: 17, corpus: "text"}
+}
+
+func TestRunConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*runConfig)
+		wantErr string // "" means valid
+	}{
+		{"defaults", func(*runConfig) {}, ""},
+		{"image corpus", func(c *runConfig) { c.corpus = "image" }, ""},
+		{"test corpus", func(c *runConfig) { c.corpus = "test" }, ""},
+		{"other task", func(c *runConfig) { c.task = "CT3" }, ""},
+		{"single point", func(c *runConfig) { c.n = 1 }, ""},
+
+		{"unknown task", func(c *runConfig) { c.task = "CT0" }, "CT0"},
+		{"zero n", func(c *runConfig) { c.n = 0 }, "-n"},
+		{"negative n", func(c *runConfig) { c.n = -5 }, "-n"},
+		{"unknown corpus", func(c *runConfig) { c.corpus = "video" }, "corpus"},
+		{"empty corpus", func(c *runConfig) { c.corpus = "" }, "corpus"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := goodConfig()
+			tc.mutate(&cfg)
+			err := cfg.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validate() accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name the problem (%q)", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunRejectsInvalidConfigFast: run() must reject before building the
+// synthetic world.
+func TestRunRejectsInvalidConfigFast(t *testing.T) {
+	cfg := goodConfig()
+	cfg.corpus = "video"
+	start := time.Now()
+	if err := run(cfg); err == nil {
+		t.Fatal("run() accepted an unknown corpus")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("invalid config took %v to reject", elapsed)
+	}
+}
+
+// TestRunWritesJSONL exercises the happy path end to end at tiny scale: the
+// exported file must be valid JSON lines with the requested corpus size.
+func TestRunWritesJSONL(t *testing.T) {
+	dir := t.TempDir()
+	out := dir + "/pts.jsonl"
+	cfg := runConfig{task: "CT1", n: 8, seed: 3, corpus: "test", out: out}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("exported %d lines, want 8", len(lines))
+	}
+	for i, line := range lines {
+		var rec map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i, err)
+		}
+		if _, ok := rec["features"]; !ok {
+			t.Fatalf("line %d has no features: %s", i, line)
+		}
+		if _, ok := rec["label"]; !ok {
+			t.Fatalf("line %d (test corpus) has no label: %s", i, line)
+		}
+	}
+}

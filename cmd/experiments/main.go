@@ -5,12 +5,15 @@
 //
 // Usage:
 //
-//	experiments [-run all|table1|table2|table3|figure5|figure6|figure7|fusion|lfgen|rawvsfeat]
+//	experiments [-run all|table1|table2|table3|figure5|figure6|figure7|fusion|lfgen|ablations|rawvsfeat]
 //	            [-scale 1.0] [-seed 17] [-tasks CT1,CT2,...] [-o out.md]
+//	            [-trace trace.json] [-trace-summary]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -scale shrinks every corpus for fast smoke runs; the headline numbers use
-// scale 1.0 (see EXPERIMENTS.md).
+// scale 1.0 (see EXPERIMENTS.md). -trace writes a Chrome trace_event JSON
+// file loadable in chrome://tracing or ui.perfetto.dev; -trace-summary
+// prints the aggregated stage tree to stderr on exit.
 package main
 
 import (
@@ -25,185 +28,151 @@ import (
 
 	"crossmodal/internal/experiments"
 	"crossmodal/internal/profiling"
+	"crossmodal/internal/trace"
 )
+
+// runConfig carries the parsed flags; validate rejects bad combinations
+// before any corpus is built.
+type runConfig struct {
+	run          string
+	scale        float64
+	seed         int64
+	tasks        string
+	out          string
+	workers      int
+	cpuProfile   string
+	memProfile   string
+	tracePath    string
+	traceSummary bool
+}
+
+func (c runConfig) validate() error {
+	if c.scale <= 0 {
+		return fmt.Errorf("-scale must be positive, got %v", c.scale)
+	}
+	if c.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", c.workers)
+	}
+	known := map[string]bool{"all": true}
+	for _, name := range experiments.ExperimentNames() {
+		known[name] = true
+	}
+	for _, name := range strings.Split(c.run, ",") {
+		if !known[strings.TrimSpace(name)] {
+			return fmt.Errorf("unknown experiment %q (known: all, %s)",
+				strings.TrimSpace(name), strings.Join(experiments.ExperimentNames(), ", "))
+		}
+	}
+	if c.tasks != "" {
+		allTasks := map[string]bool{}
+		for _, t := range experiments.AllTasks() {
+			allTasks[t] = true
+		}
+		for _, t := range strings.Split(c.tasks, ",") {
+			if !allTasks[strings.TrimSpace(t)] {
+				return fmt.Errorf("unknown task %q (known: %s)",
+					strings.TrimSpace(t), strings.Join(experiments.AllTasks(), ", "))
+			}
+		}
+	}
+	return nil
+}
+
+// taskList resolves the -tasks flag to the task subset to run.
+func (c runConfig) taskList() []string {
+	if c.tasks == "" {
+		return experiments.AllTasks()
+	}
+	parts := strings.Split(c.tasks, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
-	var (
-		run     = flag.String("run", "all", "experiment to run (all, table1, table2, table3, figure5, figure6, figure7, fusion, lfgen, ablations, rawvsfeat)")
-		scale   = flag.Float64("scale", 1.0, "corpus scale factor")
-		seed    = flag.Int64("seed", 17, "random seed")
-		tasks   = flag.String("tasks", "", "comma-separated task subset (default: all five)")
-		out     = flag.String("o", "", "output file (default stdout)")
-		workers = flag.Int("workers", 0, "worker goroutines per parallel stage (0 = GOMAXPROCS)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
-	)
+	var cfg runConfig
+	flag.StringVar(&cfg.run, "run", "all", "experiments to run, comma-separated (all, table1, table2, table3, figure5, figure6, figure7, fusion, lfgen, ablations, rawvsfeat)")
+	flag.Float64Var(&cfg.scale, "scale", 1.0, "corpus scale factor")
+	flag.Int64Var(&cfg.seed, "seed", 17, "random seed")
+	flag.StringVar(&cfg.tasks, "tasks", "", "comma-separated task subset (default: all five)")
+	flag.StringVar(&cfg.out, "o", "", "output file (default stdout)")
+	flag.IntVar(&cfg.workers, "workers", 0, "worker goroutines per parallel stage (0 = GOMAXPROCS)")
+	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile to this file on exit")
+	flag.StringVar(&cfg.tracePath, "trace", "", "write a Chrome trace_event JSON file (open in chrome://tracing or ui.perfetto.dev)")
+	flag.BoolVar(&cfg.traceSummary, "trace-summary", false, "print the aggregated stage tree to stderr on exit")
 	flag.Parse()
 
-	stopProf, err := profiling.Start(*cpuProf, *memProf)
-	if err != nil {
+	if err := run(cfg); err != nil {
 		log.Fatal(err)
 	}
+}
+
+func run(cfg runConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	stopProf, err := profiling.Start(cfg.cpuProfile, cfg.memProfile)
+	if err != nil {
+		return err
+	}
+	var summaryW io.Writer
+	if cfg.traceSummary {
+		summaryW = os.Stderr
+	}
+	stopTrace := trace.Capture(cfg.tracePath, summaryW)
 
 	w := io.Writer(os.Stdout)
-	if *out != "" {
-		f, err := os.Create(*out)
+	if cfg.out != "" {
+		f, err := os.Create(cfg.out)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer func() {
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
 			}
 		}()
 		w = f
 	}
 
-	taskList := experiments.AllTasks()
-	if *tasks != "" {
-		taskList = strings.Split(*tasks, ",")
-	}
-	suite, err := experiments.NewSuite(experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers})
+	suite, err := experiments.NewSuite(experiments.Config{Scale: cfg.scale, Seed: cfg.seed, Workers: cfg.workers})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	ctx := context.Background()
-	if err := dispatch(ctx, w, suite, *run, taskList, *scale); err != nil {
-		log.Fatal(err)
+	if err := dispatch(context.Background(), w, suite, cfg.run, cfg.taskList(), cfg.scale); err != nil {
+		return err
 	}
-	if err := stopProf(); err != nil {
-		log.Fatal(err)
+	if err := stopTrace(); err != nil {
+		return err
 	}
+	return stopProf()
 }
 
+// dispatch runs the selected subset of the experiment manifest in order.
 func dispatch(ctx context.Context, w io.Writer, suite *experiments.Suite, run string, tasks []string, scale float64) error {
 	want := map[string]bool{}
 	for _, name := range strings.Split(run, ",") {
 		want[strings.TrimSpace(name)] = true
 	}
 	all := want["all"]
-	ran := 0
-	step := func(name, title string, fn func() error) error {
-		if !all && !want[name] {
-			return nil
-		}
-		ran++
-		start := time.Now()
-		fmt.Fprintf(w, "\n## %s\n\n", title)
-		if err := fn(); err != nil {
-			return fmt.Errorf("%s: %w", name, err)
-		}
-		fmt.Fprintf(w, "\n_(generated in %s)_\n", time.Since(start).Round(time.Second))
-		return nil
-	}
 
 	fmt.Fprintf(w, "# Cross-modal adaptation experiments (scale %.2f, tasks %s)\n",
 		scale, strings.Join(tasks, ", "))
 
-	if err := step("table1", "Table 1 — task statistics", func() error {
-		rows, err := suite.Table1(ctx, tasks)
-		if err != nil {
-			return err
+	for _, exp := range experiments.Manifest() {
+		if !all && !want[exp.Name] {
+			continue
 		}
-		experiments.RenderTable1(w, rows)
-		return nil
-	}); err != nil {
-		return err
-	}
-	if err := step("table2", "Table 2 — end-to-end relative AUPRC and cross-over points", func() error {
-		rows, err := suite.Table2(ctx, tasks)
-		if err != nil {
-			return err
+		start := time.Now()
+		fmt.Fprintf(w, "\n## %s\n\n", exp.Title)
+		if err := exp.Run(ctx, w, suite, tasks); err != nil {
+			return fmt.Errorf("%s: %w", exp.Name, err)
 		}
-		experiments.RenderTable2(w, rows)
-		return nil
-	}); err != nil {
-		return err
-	}
-	if err := step("table3", "Table 3 — label-propagation lift", func() error {
-		rows, err := suite.Table3(ctx, tasks)
-		if err != nil {
-			return err
-		}
-		experiments.RenderTable3(w, rows)
-		return nil
-	}); err != nil {
-		return err
-	}
-	if err := step("figure5", "Figure 5 — hand-label budget cross-over (CT1)", func() error {
-		series, err := suite.Figure5(ctx, "CT1")
-		if err != nil {
-			return err
-		}
-		experiments.RenderFigure5(w, series)
-		return nil
-	}); err != nil {
-		return err
-	}
-	if err := step("figure6", "Figure 6 — organizational-resource factor analysis (CT1)", func() error {
-		steps, err := suite.Figure6(ctx, "CT1")
-		if err != nil {
-			return err
-		}
-		experiments.RenderFigure6(w, steps)
-		return nil
-	}); err != nil {
-		return err
-	}
-	if err := step("figure7", "Figure 7 — modality lesion study (CT1)", func() error {
-		rows, err := suite.Figure7(ctx, "CT1")
-		if err != nil {
-			return err
-		}
-		experiments.RenderFigure7(w, rows)
-		return nil
-	}); err != nil {
-		return err
-	}
-	if err := step("fusion", "§6.6 — fusion architecture comparison", func() error {
-		rows, err := suite.FusionComparison(ctx, tasks)
-		if err != nil {
-			return err
-		}
-		experiments.RenderFusion(w, rows)
-		return nil
-	}); err != nil {
-		return err
-	}
-	if err := step("lfgen", "§6.7.1 — automatic vs expert LF generation (CT1)", func() error {
-		rows, err := suite.LFGeneration(ctx, "CT1")
-		if err != nil {
-			return err
-		}
-		experiments.RenderLFGen(w, rows)
-		return nil
-	}); err != nil {
-		return err
-	}
-	if err := step("ablations", "Design-choice ablations (CT1)", func() error {
-		rows, err := suite.Ablations(ctx, "CT1")
-		if err != nil {
-			return err
-		}
-		experiments.RenderAblations(w, rows)
-		return nil
-	}); err != nil {
-		return err
-	}
-	if err := step("rawvsfeat", "§6.6 — feature space vs raw embedding (CT1)", func() error {
-		res, err := suite.RawVsFeatures(ctx, "CT1")
-		if err != nil {
-			return err
-		}
-		experiments.RenderRawVsFeatures(w, res)
-		return nil
-	}); err != nil {
-		return err
-	}
-	if ran == 0 {
-		return fmt.Errorf("unknown experiment %q", run)
+		fmt.Fprintf(w, "\n_(generated in %s)_\n", time.Since(start).Round(time.Second))
 	}
 	return nil
 }

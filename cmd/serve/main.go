@@ -25,6 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -39,6 +40,7 @@ import (
 	"crossmodal/internal/resource"
 	"crossmodal/internal/serve"
 	"crossmodal/internal/synth"
+	"crossmodal/internal/trace"
 )
 
 func main() {
@@ -60,6 +62,8 @@ func main() {
 		maxWait    = flag.Duration("max-wait", 2*time.Millisecond, "micro-batch window")
 		queue      = flag.Int("queue", 1024, "admission queue depth; excess load is shed with 429")
 		timeout    = flag.Duration("timeout", 500*time.Millisecond, "per-request scoring budget")
+		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON file on shutdown (open in chrome://tracing or ui.perfetto.dev)")
+		traceSum   = flag.Bool("trace-summary", false, "print the aggregated stage tree to stderr on shutdown")
 	)
 	flag.Parse()
 	if err := run(runConfig{
@@ -67,6 +71,7 @@ func main() {
 		fusionKind: *fusionKind, taskName: *taskName, scale: *scale, seed: *seed,
 		workers: *workers, cache: *cache, canaryN: *canaryN,
 		maxBatch: *maxBatch, maxWait: *maxWait, queue: *queue, timeout: *timeout,
+		tracePath: *tracePath, traceSummary: *traceSum,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -83,6 +88,8 @@ type runConfig struct {
 	canaryN, maxBatch    int
 	maxWait, timeout     time.Duration
 	queue                int
+	tracePath            string
+	traceSummary         bool
 }
 
 // validate rejects flag combinations before any expensive work (world
@@ -134,6 +141,16 @@ func run(cfg runConfig) error {
 	if err := cfg.validate(); err != nil {
 		return err
 	}
+	var summaryW io.Writer
+	if cfg.traceSummary {
+		summaryW = os.Stderr
+	}
+	stopTrace := trace.Capture(cfg.tracePath, summaryW)
+	defer func() {
+		if terr := stopTrace(); terr != nil {
+			log.Printf("trace: %v", terr)
+		}
+	}()
 	world, err := synth.NewWorld(synth.DefaultConfig())
 	if err != nil {
 		return err
@@ -268,11 +285,11 @@ func train(world *synth.World, lib *resource.Library, store *featurestore.Store,
 	var m fusion.Predictor
 	switch cfg.fusionKind {
 	case "early":
-		m, err = fusion.TrainEarly([]fusion.Corpus{text, image}, fcfg)
+		m, err = fusion.TrainEarly(ctx, []fusion.Corpus{text, image}, fcfg)
 	case "intermediate":
-		m, err = fusion.TrainIntermediate([]fusion.Corpus{text, image}, fcfg)
+		m, err = fusion.TrainIntermediate(ctx, []fusion.Corpus{text, image}, fcfg)
 	case "devise":
-		m, err = fusion.TrainDeViSE([]fusion.Corpus{text}, image, fcfg)
+		m, err = fusion.TrainDeViSE(ctx, []fusion.Corpus{text}, image, fcfg)
 	default:
 		return fmt.Errorf("unknown fusion kind %q", cfg.fusionKind)
 	}

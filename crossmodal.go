@@ -240,8 +240,8 @@ func EvaluateLFs(m *LFMatrix, labels []int8) []LFStats { return lf.EvaluateAll(m
 
 // FitLabelModel estimates the generative label model from a labeled
 // development vote matrix (paper §4.1/§4.2).
-func FitLabelModel(m *LFMatrix, labels []int8, cfg LabelModelConfig) (*LabelModel, error) {
-	return labelmodel.FitSupervised(m, labels, cfg)
+func FitLabelModel(ctx context.Context, m *LFMatrix, labels []int8, cfg LabelModelConfig) (*LabelModel, error) {
+	return labelmodel.FitSupervised(ctx, m, labels, cfg)
 }
 
 // Post-deployment lifecycle: active learning / self-training to grow beyond

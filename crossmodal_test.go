@@ -57,7 +57,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	// Re-train a variant from the same curation.
 	spec := pipe.DefaultTrainSpec()
 	spec.Fusion = crossmodal.IntermediateFusion
-	if _, err := pipe.Train(res.Curation, spec); err != nil {
+	if _, err := pipe.Train(context.Background(), res.Curation, spec); err != nil {
 		t.Fatalf("variant training: %v", err)
 	}
 
@@ -123,7 +123,7 @@ func TestPublicWeakSupervisionBlocks(t *testing.T) {
 	if len(stats) != len(lfs) {
 		t.Fatalf("stats = %d, lfs = %d", len(stats), len(lfs))
 	}
-	lm, err := crossmodal.FitLabelModel(matrix, labels, crossmodal.LabelModelConfig{})
+	lm, err := crossmodal.FitLabelModel(context.Background(), matrix, labels, crossmodal.LabelModelConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -86,7 +86,7 @@ func main() {
 		}
 		// Denoise the votes into probabilistic labels and measure the
 		// label model's dev-set F1 — the §6.7 comparison metric.
-		lm, err := crossmodal.FitLabelModel(matrix, devLabels, crossmodal.LabelModelConfig{})
+		lm, err := crossmodal.FitLabelModel(ctx, matrix, devLabels, crossmodal.LabelModelConfig{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -123,5 +123,5 @@ func growModel(ctx context.Context, pipe *crossmodal.Pipeline, cur *crossmodal.C
 	}
 	spec := pipe.DefaultTrainSpec()
 	spec.Extra = []crossmodal.TrainingCorpus{{Name: "reviewed", Vectors: vecs, Targets: targets, Weights: weights}}
-	return pipe.Train(cur, spec)
+	return pipe.Train(ctx, cur, spec)
 }

@@ -29,17 +29,11 @@ type goldenResult struct {
 	Scores      []float64 `json:"scores"` // first test points, in order
 }
 
-// TestGoldenPipeline runs the full pipeline — featurization, LF mining,
+// runGoldenPipeline executes the full pipeline — featurization, LF mining,
 // label propagation, generative label model, early-fusion training, test
-// scoring — at a fixed seed with pinned parallelism and compares the result
-// bit-for-bit against testdata/golden_pipeline.json. Regenerate with:
-//
-//	go test -run TestGoldenPipeline -update .
-func TestGoldenPipeline(t *testing.T) {
-	if testing.Short() {
-		t.Skip("integration test")
-	}
-	ctx := context.Background()
+// scoring — at the fixed golden seed with pinned parallelism.
+func runGoldenPipeline(t *testing.T, ctx context.Context) goldenResult {
+	t.Helper()
 
 	world := crossmodal.MustWorld(crossmodal.DefaultWorldConfig())
 	lib, err := crossmodal.StandardLibrary(world)
@@ -79,7 +73,7 @@ func TestGoldenPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := goldenResult{
+	return goldenResult{
 		Task:        res.Report.Task,
 		LFCount:     res.Report.LFCount,
 		PropIters:   res.Report.PropIters,
@@ -90,23 +84,12 @@ func TestGoldenPipeline(t *testing.T) {
 		AUPRC:       auprc,
 		Scores:      res.Predictor.PredictBatch(vecs),
 	}
+}
 
+// compareGolden checks got bit-for-bit against testdata/golden_pipeline.json.
+func compareGolden(t *testing.T, got goldenResult) {
+	t.Helper()
 	path := filepath.Join("testdata", "golden_pipeline.json")
-	if *updateGolden {
-		raw, err := json.MarshalIndent(got, "", "  ")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.MkdirAll("testdata", 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		t.Logf("golden file updated: %s", path)
-		return
-	}
-
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("read golden file (regenerate with -update): %v", err)
@@ -137,4 +120,32 @@ func TestGoldenPipeline(t *testing.T) {
 			t.Errorf("score[%d] = %v, golden %v (bit drift)", i, got.Scores[i], want.Scores[i])
 		}
 	}
+}
+
+// TestGoldenPipeline compares a full pipeline run bit-for-bit against
+// testdata/golden_pipeline.json. Regenerate with:
+//
+//	go test -run TestGoldenPipeline -update .
+func TestGoldenPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	got := runGoldenPipeline(t, context.Background())
+
+	if *updateGolden {
+		raw, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join("testdata", "golden_pipeline.json")
+		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file updated: %s", path)
+		return
+	}
+	compareGolden(t, got)
 }

@@ -115,7 +115,7 @@ func Run(ctx context.Context, pipe *core.Pipeline, cur *core.Curation, pool, tes
 	testLabels := synth.Labels(test)
 
 	spec := pipe.DefaultTrainSpec()
-	predictor, err := pipe.Train(cur, spec)
+	predictor, err := pipe.Train(ctx, cur, spec)
 	if err != nil {
 		return nil, fmt.Errorf("active: bootstrap training: %w", err)
 	}
@@ -152,7 +152,7 @@ func Run(ctx context.Context, pipe *core.Pipeline, cur *core.Curation, pool, tes
 			Targets: reviewedTargets,
 			Weights: reviewedWeights,
 		}}
-		predictor, err = pipe.Train(cur, roundSpec)
+		predictor, err = pipe.Train(ctx, cur, roundSpec)
 		if err != nil {
 			return nil, fmt.Errorf("active: round %d training: %w", round, err)
 		}
@@ -229,7 +229,7 @@ func SelfTrain(ctx context.Context, pipe *core.Pipeline, cur *core.Curation, poo
 		return nil, 0, err
 	}
 	spec := pipe.DefaultTrainSpec()
-	predictor, err := pipe.Train(cur, spec)
+	predictor, err := pipe.Train(ctx, cur, spec)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -256,7 +256,7 @@ func SelfTrain(ctx context.Context, pipe *core.Pipeline, cur *core.Curation, poo
 		return predictor, 0, nil
 	}
 	spec.Extra = []fusion.Corpus{{Name: "pseudo", Vectors: vecs, Targets: targets, Weights: weights}}
-	retrained, err := pipe.Train(cur, spec)
+	retrained, err := pipe.Train(ctx, cur, spec)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -11,6 +11,7 @@ import (
 	"crossmodal/internal/model"
 	"crossmodal/internal/resource"
 	"crossmodal/internal/synth"
+	"crossmodal/internal/trace"
 )
 
 // SchemaFor composes an end-model schema from organizational service sets,
@@ -43,6 +44,10 @@ func (p *Pipeline) TrainSupervised(ctx context.Context, pts []*synth.Point, sche
 	if len(pts) == 0 {
 		return nil, fmt.Errorf("core: no supervised training points")
 	}
+	ctx, span := trace.Start(ctx, "train")
+	defer span.End()
+	span.SetStr("fusion", "early")
+	span.SetStr("mode", "supervised")
 	vecs, err := p.Featurize(ctx, pts)
 	if err != nil {
 		return nil, fmt.Errorf("core: featurize supervised corpus: %w", err)
@@ -54,7 +59,7 @@ func (p *Pipeline) TrainSupervised(ctx context.Context, pts []*synth.Point, sche
 		}
 	}
 	corpus := fusion.Corpus{Name: "supervised", Vectors: vecs, Targets: targets}
-	return fusion.TrainEarly([]fusion.Corpus{corpus}, fusion.Config{
+	return fusion.TrainEarly(ctx, []fusion.Corpus{corpus}, fusion.Config{
 		Schema:   schema,
 		Model:    p.modelConfig(mcfg),
 		MaxVocab: p.opts.MaxVocab,
@@ -64,11 +69,16 @@ func (p *Pipeline) TrainSupervised(ctx context.Context, pts []*synth.Point, sche
 // EvaluateAUPRC featurizes the test points and returns the predictor's
 // AUPRC against their labels.
 func (p *Pipeline) EvaluateAUPRC(ctx context.Context, predictor fusion.Predictor, test []*synth.Point) (float64, error) {
+	ctx, span := trace.Start(ctx, "eval")
+	defer span.End()
+	span.SetInt("points", int64(len(test)))
 	vecs, err := p.Featurize(ctx, test)
 	if err != nil {
 		return 0, fmt.Errorf("core: featurize test: %w", err)
 	}
-	return metrics.AUPRC(synth.Labels(test), predictor.PredictBatch(vecs)), nil
+	auprc := metrics.AUPRC(synth.Labels(test), predictor.PredictBatch(vecs))
+	span.SetFloat("auprc", auprc)
+	return auprc, nil
 }
 
 // BudgetPoint is one point on a hand-label budget curve (Figure 5).

@@ -264,7 +264,7 @@ func TestTuneModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tuned, err := p.TuneModel(res.Curation, p.DefaultTrainSpec(), 4, 3)
+	tuned, err := p.TuneModel(context.Background(), res.Curation, p.DefaultTrainSpec(), 4, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +282,7 @@ func TestTuneModel(t *testing.T) {
 	// The tuned config must be usable for a final fit.
 	spec := p.DefaultTrainSpec()
 	spec.Model = tuned.Config
-	if _, err := p.Train(res.Curation, spec); err != nil {
+	if _, err := p.Train(context.Background(), res.Curation, spec); err != nil {
 		t.Fatalf("final fit with tuned config: %v", err)
 	}
 }
@@ -294,7 +294,7 @@ func TestTuneModelValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	tiny := &Curation{}
-	if _, err := p.TuneModel(tiny, p.DefaultTrainSpec(), 2, 1); err == nil {
+	if _, err := p.TuneModel(context.Background(), tiny, p.DefaultTrainSpec(), 2, 1); err == nil {
 		t.Error("expected error for tiny curation")
 	}
 }
@@ -319,7 +319,7 @@ func TestTrainSpecVariants(t *testing.T) {
 	// Schema override: an embedding-only model must ignore everything else.
 	spec := p.DefaultTrainSpec()
 	spec.Schema = p.EmbeddingOnlySchema()
-	embOnly, err := p.Train(res.Curation, spec)
+	embOnly, err := p.Train(context.Background(), res.Curation, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +330,7 @@ func TestTrainSpecVariants(t *testing.T) {
 	// No modality is an error.
 	bad := p.DefaultTrainSpec()
 	bad.UseText, bad.UseImage = false, false
-	if _, err := p.Train(res.Curation, bad); err == nil {
+	if _, err := p.Train(context.Background(), res.Curation, bad); err == nil {
 		t.Error("expected error for no-modality spec")
 	}
 
@@ -338,13 +338,13 @@ func TestTrainSpecVariants(t *testing.T) {
 	devise := p.DefaultTrainSpec()
 	devise.Fusion = DeViSE
 	devise.UseText = false
-	if _, err := p.Train(res.Curation, devise); err == nil {
+	if _, err := p.Train(context.Background(), res.Curation, devise); err == nil {
 		t.Error("expected error for single-modality DeViSE")
 	}
 
 	// Extra corpora join training and shift predictions.
 	extraSpec := p.DefaultTrainSpec()
-	plain, err := p.Train(res.Curation, extraSpec)
+	plain, err := p.Train(context.Background(), res.Curation, extraSpec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,7 +361,7 @@ func TestTrainSpecVariants(t *testing.T) {
 		weights[i] = 5
 	}
 	extraSpec.Extra = []fusion.Corpus{{Name: "extra", Vectors: extraVecs, Targets: targets, Weights: weights}}
-	boosted, err := p.Train(res.Curation, extraSpec)
+	boosted, err := p.Train(context.Background(), res.Curation, extraSpec)
 	if err != nil {
 		t.Fatal(err)
 	}

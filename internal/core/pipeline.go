@@ -17,6 +17,7 @@ import (
 	"crossmodal/internal/model"
 	"crossmodal/internal/resource"
 	"crossmodal/internal/synth"
+	"crossmodal/internal/trace"
 	"crossmodal/internal/xrand"
 )
 
@@ -47,6 +48,9 @@ func (p *Pipeline) Library() *resource.Library { return p.lib }
 
 // Featurize maps points into the library's common feature space.
 func (p *Pipeline) Featurize(ctx context.Context, pts []*synth.Point) ([]*feature.Vector, error) {
+	ctx, span := trace.Start(ctx, "featurize")
+	defer span.End()
+	span.Add("points", int64(len(pts)))
 	return p.lib.Featurize(ctx, mapreduce.Config{Workers: p.opts.Workers}, pts)
 }
 
@@ -137,12 +141,17 @@ type Report struct {
 // predictor plus diagnostics. The unlabeled corpus's hidden labels are used
 // only to fill the Report's WS quality fields, never for training.
 func (p *Pipeline) Run(ctx context.Context, ds *synth.Dataset) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, span := trace.Start(ctx, "pipeline.run")
+	defer span.End()
 	cur, err := p.Curate(ctx, ds)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	predictor, err := p.Train(cur, p.DefaultTrainSpec())
+	predictor, err := p.Train(ctx, cur, p.DefaultTrainSpec())
 	if err != nil {
 		return nil, err
 	}
@@ -163,6 +172,8 @@ func (p *Pipeline) Curate(ctx context.Context, ds *synth.Dataset) (*Curation, er
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx, curSpan := trace.Start(ctx, "pipeline.curate")
+	defer curSpan.End()
 	timings := make(map[string]time.Duration)
 	stage := func(name string, start time.Time) { timings[name] = time.Since(start) }
 
@@ -206,17 +217,23 @@ func (p *Pipeline) Curate(ctx context.Context, ds *synth.Dataset) (*Curation, er
 	stage("lf-generation", start)
 
 	start = time.Now()
-	devMatrix, err := lf.Apply(ctx, mapreduce.Config{Workers: p.opts.Workers}, lfs, lfTextVecs)
+	applyCtx, applySpan := trace.Start(ctx, "lf.apply")
+	devMatrix, err := lf.Apply(applyCtx, mapreduce.Config{Workers: p.opts.Workers}, lfs, lfTextVecs)
 	if err != nil {
+		applySpan.End()
 		return nil, fmt.Errorf("core: apply LFs to dev: %w", err)
 	}
 	// Drop LFs that near-duplicate a better LF on the dev set: distinct
 	// services often observe the same latent attribute, and duplicated
 	// votes break the generative model's independence assumption.
+	mined := len(lfs)
 	if !p.opts.DisableLFDedup {
 		lfs, devMatrix = dedupeLFs(lfs, devMatrix, textLabels)
 	}
-	matrix, err := lf.Apply(ctx, mapreduce.Config{Workers: p.opts.Workers}, lfs, lfImageVecs)
+	applySpan.Add("lfs_kept", int64(len(lfs)))
+	applySpan.Add("lfs_rejected", int64(mined-len(lfs)))
+	matrix, err := lf.Apply(applyCtx, mapreduce.Config{Workers: p.opts.Workers}, lfs, lfImageVecs)
+	applySpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: apply LFs: %w", err)
 	}
@@ -227,7 +244,9 @@ func (p *Pipeline) Curate(ctx context.Context, ds *synth.Dataset) (*Curation, er
 
 	if p.opts.UseLabelProp {
 		start = time.Now()
-		cuts, iters, err := p.propagate(ctx, textVecs, textLabels, imageVecs, matrix, devMatrix)
+		lpCtx, lpSpan := trace.Start(ctx, "labelprop")
+		cuts, iters, err := p.propagate(lpCtx, textVecs, textLabels, imageVecs, matrix, devMatrix)
+		lpSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -237,7 +256,9 @@ func (p *Pipeline) Curate(ctx context.Context, ds *synth.Dataset) (*Curation, er
 	report.LFCount = matrix.NumLFs()
 
 	start = time.Now()
-	probs, covered, lm, err := p.denoise(matrix, devMatrix, textLabels)
+	lmCtx, lmSpan := trace.Start(ctx, "labelmodel")
+	probs, covered, lm, err := p.denoise(lmCtx, matrix, devMatrix, textLabels)
+	lmSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -494,7 +515,7 @@ func (p *Pipeline) propagate(ctx context.Context, textVecs []*feature.Vector, te
 // dev-anchored label model (or majority vote). Each LF's class-conditional
 // reliability is estimated on the labeled old-modality dev matrix (§4.2),
 // then applied to the new modality's votes.
-func (p *Pipeline) denoise(matrix, devMatrix *lf.Matrix, textLabels []int8) ([]float64, []bool, *labelmodel.Model, error) {
+func (p *Pipeline) denoise(ctx context.Context, matrix, devMatrix *lf.Matrix, textLabels []int8) ([]float64, []bool, *labelmodel.Model, error) {
 	covered := labelmodel.Covered(matrix)
 	if !p.opts.UseGenerative {
 		return labelmodel.MajorityVote(matrix), covered, nil, nil
@@ -506,9 +527,9 @@ func (p *Pipeline) denoise(matrix, devMatrix *lf.Matrix, textLabels []int8) ([]f
 	var lm *labelmodel.Model
 	var err error
 	if p.opts.UseEMLabelModel {
-		lm, err = labelmodel.FitGenerative(matrix, lmCfg)
+		lm, err = labelmodel.FitGenerative(ctx, matrix, lmCfg)
 	} else {
-		lm, err = labelmodel.FitSupervised(devMatrix, textLabels, lmCfg)
+		lm, err = labelmodel.FitSupervised(ctx, devMatrix, textLabels, lmCfg)
 	}
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("core: fit label model: %w", err)
@@ -563,10 +584,13 @@ func (p *Pipeline) modelConfig(mcfg model.Config) model.Config {
 }
 
 // Train fits one end-model variant (stage C, §5) from a curation.
-func (p *Pipeline) Train(cur *Curation, spec TrainSpec) (fusion.Predictor, error) {
+func (p *Pipeline) Train(ctx context.Context, cur *Curation, spec TrainSpec) (fusion.Predictor, error) {
 	if !spec.UseText && !spec.UseImage {
 		return nil, fmt.Errorf("core: train spec enables no modality")
 	}
+	ctx, span := trace.Start(ctx, "train")
+	defer span.End()
+	span.SetStr("fusion", string(spec.Fusion))
 	schema := spec.Schema
 	if schema == nil {
 		schema = p.SchemaFor(spec.ModelSets, spec.IncludeModalityFeatures, spec.IncludeModalityFeatures)
@@ -602,14 +626,14 @@ func (p *Pipeline) Train(cur *Curation, spec TrainSpec) (fusion.Predictor, error
 	corpora = append(corpora, spec.Extra...)
 	switch spec.Fusion {
 	case IntermediateFusion:
-		return fusion.TrainIntermediate(corpora, cfg)
+		return fusion.TrainIntermediate(ctx, corpora, cfg)
 	case DeViSE:
 		if !spec.UseText || !spec.UseImage {
 			return nil, fmt.Errorf("core: DeViSE needs both modalities")
 		}
-		return fusion.TrainDeViSE([]fusion.Corpus{textCorpus}, imageCorpus, cfg)
+		return fusion.TrainDeViSE(ctx, []fusion.Corpus{textCorpus}, imageCorpus, cfg)
 	default:
-		return fusion.TrainEarly(corpora, cfg)
+		return fusion.TrainEarly(ctx, corpora, cfg)
 	}
 }
 

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"crossmodal/internal/feature"
 	"crossmodal/internal/metrics"
 	"crossmodal/internal/model"
+	"crossmodal/internal/trace"
 	"crossmodal/internal/tuner"
 	"crossmodal/internal/xrand"
 )
@@ -27,10 +29,12 @@ type TuneResult struct {
 // scores validation AUPRC on that held-out portion (labels of the new
 // modality are never touched). The returned Config can be assigned to
 // TrainSpec.Model for the final fit.
-func (p *Pipeline) TuneModel(cur *Curation, spec TrainSpec, trials int, seed int64) (TuneResult, error) {
+func (p *Pipeline) TuneModel(ctx context.Context, cur *Curation, spec TrainSpec, trials int, seed int64) (TuneResult, error) {
 	if trials <= 0 {
 		trials = 12
 	}
+	ctx, span := trace.Start(ctx, "tune")
+	defer span.End()
 	if len(cur.TextVecs) < 50 {
 		return TuneResult{}, fmt.Errorf("core: labeled corpus too small to tune (%d points)", len(cur.TextVecs))
 	}
@@ -77,13 +81,13 @@ func (p *Pipeline) TuneModel(cur *Curation, spec TrainSpec, trials int, seed int
 		}
 		trialSpec := spec
 		trialSpec.Model = mcfg
-		pred, err := p.Train(&trainCur, trialSpec)
+		pred, err := p.Train(ctx, &trainCur, trialSpec)
 		if err != nil {
 			return 0, err
 		}
 		return metrics.AUPRC(valLabels, pred.PredictBatch(valVecs)), nil
 	}
-	best, history, err := tuner.RandomSearch(space, objective, trials, seed)
+	best, history, err := tuner.RandomSearch(ctx, space, objective, trials, seed)
 	if err != nil {
 		return TuneResult{}, err
 	}

@@ -58,7 +58,7 @@ func (s *Suite) Ablations(ctx context.Context, taskName string) ([]AblationRow, 
 				return nil, fmt.Errorf("experiments: ablation %q curate: %w", variant.name, err)
 			}
 		}
-		auprc, err := tc.trainAndEval(cur, pipe.DefaultTrainSpec())
+		auprc, err := tc.trainAndEval(ctx, cur, pipe.DefaultTrainSpec())
 		if err != nil {
 			return nil, fmt.Errorf("experiments: ablation %q train: %w", variant.name, err)
 		}

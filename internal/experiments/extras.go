@@ -54,7 +54,7 @@ func (s *Suite) FusionComparison(ctx context.Context, tasks []string) ([]FusionR
 			spec := tc.pipe.DefaultTrainSpec()
 			spec.Fusion = arch.kind
 			spec.Model = mcfg
-			auprc, err := tc.trainAndEval(tc.curation, spec)
+			auprc, err := tc.trainAndEval(ctx, tc.curation, spec)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s %s: %w", name, arch.kind, err)
 			}
@@ -136,7 +136,7 @@ func (s *Suite) LFGeneration(ctx context.Context, taskName string) ([]LFGenResul
 		if err != nil {
 			return nil, err
 		}
-		lm, err := labelmodel.FitSupervised(devMatrix, cur.TextLabels, labelmodel.Config{
+		lm, err := labelmodel.FitSupervised(ctx, devMatrix, cur.TextLabels, labelmodel.Config{
 			ClassBalance: metrics.BaseRate(cur.TextLabels),
 		})
 		if err != nil {
@@ -159,7 +159,7 @@ func (s *Suite) LFGeneration(ctx context.Context, taskName string) ([]LFGenResul
 		variant := *cur
 		variant.ProbLabels = probs
 		variant.Covered = covered
-		auprc, err := tc.trainAndEval(&variant, tc.pipe.DefaultTrainSpec())
+		auprc, err := tc.trainAndEval(ctx, &variant, tc.pipe.DefaultTrainSpec())
 		if err != nil {
 			return nil, err
 		}
@@ -237,7 +237,7 @@ func (s *Suite) RawVsFeatures(ctx context.Context, taskName string) (RawVsFeatur
 	if err != nil {
 		return RawVsFeaturesResult{}, err
 	}
-	features := tc.relative(tc.evaluate(pred))
+	features := tc.relative(tc.evaluate(ctx, pred))
 	return RawVsFeaturesResult{
 		Task:       taskName,
 		Features:   features,

@@ -42,7 +42,7 @@ func (s *Suite) Figure5(ctx context.Context, taskName string) ([]Figure5Series, 
 	for _, panel := range panels {
 		spec := tc.pipe.DefaultTrainSpec()
 		spec.ModelSets = panel.sets
-		cross, err := tc.trainAndEval(tc.curation, spec)
+		cross, err := tc.trainAndEval(ctx, tc.curation, spec)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: figure5 %s cross-modal: %w", panel.label, err)
 		}
@@ -117,7 +117,7 @@ func (s *Suite) Figure6(ctx context.Context, taskName string) ([]Figure6Step, er
 		{TextSets: []string{"A", "B", "C", "D"}, ImageSets: []string{"A", "B", "C", "D"}},
 	}
 	for i := range steps {
-		auprc, err := s.trainMasked(tc, steps[i].TextSets, steps[i].ImageSets, steps[i].ImageSets != nil)
+		auprc, err := s.trainMasked(ctx, tc, steps[i].TextSets, steps[i].ImageSets, steps[i].ImageSets != nil)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: figure6 step %d: %w", i, err)
 		}
@@ -130,7 +130,7 @@ func (s *Suite) Figure6(ctx context.Context, taskName string) ([]Figure6Step, er
 // textSets (plus text-specific features) and the image corpus sees imageSets
 // (plus image-specific features); the end-model schema is their union. This
 // implements the per-modality feature-set configurations of Figures 6 and 7.
-func (s *Suite) trainMasked(tc *taskContext, textSets, imageSets []string, useImage bool) (float64, error) {
+func (s *Suite) trainMasked(ctx context.Context, tc *taskContext, textSets, imageSets []string, useImage bool) (float64, error) {
 	lib := tc.pipe.Library()
 	textSchema := lib.Schema().Sets(append(append([]string{}, textSets...), resource.TextSet)...).Servable()
 	var imageSchema *feature.Schema
@@ -173,7 +173,7 @@ func (s *Suite) trainMasked(tc *taskContext, textSets, imageSets []string, useIm
 		}
 		corpora = append(corpora, fusion.Corpus{Name: "image", Vectors: vecs, Targets: targets})
 	}
-	pred, err := fusion.TrainEarly(corpora, fusion.Config{Schema: endSchema, Model: endModelConfig(s.cfg.Workers)})
+	pred, err := fusion.TrainEarly(ctx, corpora, fusion.Config{Schema: endSchema, Model: endModelConfig(s.cfg.Workers)})
 	if err != nil {
 		return 0, err
 	}
@@ -233,7 +233,7 @@ func (s *Suite) Figure7(ctx context.Context, taskName string) ([]Figure7Row, err
 	for _, sets := range prefixes {
 		row := Figure7Row{Sets: sets}
 
-		textOnly, err := s.trainMasked(tc, sets, nil, false)
+		textOnly, err := s.trainMasked(ctx, tc, sets, nil, false)
 		if err != nil {
 			return nil, err
 		}
@@ -242,13 +242,13 @@ func (s *Suite) Figure7(ctx context.Context, taskName string) ([]Figure7Row, err
 		spec := tc.pipe.DefaultTrainSpec()
 		spec.ModelSets = sets
 		spec.UseText, spec.UseImage = false, true
-		imageOnly, err := tc.trainAndEval(tc.curation, spec)
+		imageOnly, err := tc.trainAndEval(ctx, tc.curation, spec)
 		if err != nil {
 			return nil, err
 		}
 		row.ImageOnly = tc.relative(imageOnly)
 
-		both, err := s.trainMasked(tc, sets, sets, true)
+		both, err := s.trainMasked(ctx, tc, sets, sets, true)
 		if err != nil {
 			return nil, err
 		}

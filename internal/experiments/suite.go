@@ -26,6 +26,7 @@ import (
 	"crossmodal/internal/model"
 	"crossmodal/internal/resource"
 	"crossmodal/internal/synth"
+	"crossmodal/internal/trace"
 )
 
 // Config sizes and seeds the experiment suite.
@@ -179,7 +180,7 @@ func (s *Suite) ctxFor(ctx context.Context, taskName string) (*taskContext, erro
 	if err != nil {
 		return nil, err
 	}
-	tc.baseline = tc.evaluate(basePred)
+	tc.baseline = tc.evaluate(ctx, basePred)
 	if tc.baseline <= 0 {
 		return nil, fmt.Errorf("experiments: degenerate baseline for %s", taskName)
 	}
@@ -210,8 +211,13 @@ func (s *Suite) noPropCuration(ctx context.Context, tc *taskContext) (*core.Cura
 }
 
 // evaluate returns a predictor's AUPRC on the cached test set.
-func (tc *taskContext) evaluate(pred fusion.Predictor) float64 {
-	return metrics.AUPRC(tc.testLabels, pred.PredictBatch(tc.testVecs))
+func (tc *taskContext) evaluate(ctx context.Context, pred fusion.Predictor) float64 {
+	_, span := trace.Start(ctx, "eval")
+	defer span.End()
+	span.SetInt("points", int64(len(tc.testVecs)))
+	auprc := metrics.AUPRC(tc.testLabels, pred.PredictBatch(tc.testVecs))
+	span.SetFloat("auprc", auprc)
+	return auprc
 }
 
 // relative converts an absolute AUPRC to the baseline-relative form.
@@ -220,12 +226,12 @@ func (tc *taskContext) relative(auprc float64) float64 {
 }
 
 // trainAndEval trains one variant from the curation and evaluates it.
-func (tc *taskContext) trainAndEval(cur *core.Curation, spec core.TrainSpec) (float64, error) {
-	pred, err := tc.pipe.Train(cur, spec)
+func (tc *taskContext) trainAndEval(ctx context.Context, cur *core.Curation, spec core.TrainSpec) (float64, error) {
+	pred, err := tc.pipe.Train(ctx, cur, spec)
 	if err != nil {
 		return 0, err
 	}
-	return tc.evaluate(pred), nil
+	return tc.evaluate(ctx, pred), nil
 }
 
 // budgets returns the hand-label budget ladder used by the cross-over

@@ -78,21 +78,21 @@ func (s *Suite) Table2(ctx context.Context, tasks []string) ([]Table2Row, error)
 
 		spec := tc.pipe.DefaultTrainSpec()
 		spec.UseText, spec.UseImage = true, false
-		text, err := tc.trainAndEval(tc.curation, spec)
+		text, err := tc.trainAndEval(ctx, tc.curation, spec)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s text model: %w", name, err)
 		}
 		row.Text = tc.relative(text)
 
 		spec.UseText, spec.UseImage = false, true
-		image, err := tc.trainAndEval(tc.curation, spec)
+		image, err := tc.trainAndEval(ctx, tc.curation, spec)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s image model: %w", name, err)
 		}
 		row.Image = tc.relative(image)
 
 		spec.UseText, spec.UseImage = true, true
-		cross, err := tc.trainAndEval(tc.curation, spec)
+		cross, err := tc.trainAndEval(ctx, tc.curation, spec)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s cross-modal model: %w", name, err)
 		}
@@ -147,11 +147,11 @@ func (s *Suite) Table3(ctx context.Context, tasks []string) ([]Table3Row, error)
 			return nil, fmt.Errorf("experiments: %s no-prop curation: %w", name, err)
 		}
 		spec := tc.pipe.DefaultTrainSpec()
-		withAUPRC, err := tc.trainAndEval(tc.curation, spec)
+		withAUPRC, err := tc.trainAndEval(ctx, tc.curation, spec)
 		if err != nil {
 			return nil, err
 		}
-		withoutAUPRC, err := tc.trainAndEval(noProp, spec)
+		withoutAUPRC, err := tc.trainAndEval(ctx, noProp, spec)
 		if err != nil {
 			return nil, err
 		}

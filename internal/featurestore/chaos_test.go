@@ -25,8 +25,8 @@ type toggleSvc struct {
 
 var errToggled = errors.New("toggleSvc: induced outage")
 
-func (s *toggleSvc) Def() feature.Def                 { return feature.Def{Name: s.name, Kind: feature.Numeric} }
-func (s *toggleSvc) Supports(_ synth.Modality) bool   { return true }
+func (s *toggleSvc) Def() feature.Def               { return feature.Def{Name: s.name, Kind: feature.Numeric} }
+func (s *toggleSvc) Supports(_ synth.Modality) bool { return true }
 func (s *toggleSvc) Observe(_ *synth.Entity, _ synth.Modality, _ *rand.Rand) feature.Value {
 	return feature.NumericValue(1)
 }

@@ -21,6 +21,7 @@ import (
 	"crossmodal/internal/mapreduce"
 	"crossmodal/internal/resource"
 	"crossmodal/internal/synth"
+	"crossmodal/internal/trace"
 )
 
 // Store is a bounded, concurrency-safe cache of featurized data points in
@@ -200,6 +201,9 @@ func (s *Store) Featurize(ctx context.Context, cfg mapreduce.Config, pts []*synt
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx, span := trace.Start(ctx, "featurestore.featurize")
+	defer span.End()
+	span.Add("points", int64(len(pts)))
 	out := make([]*feature.Vector, len(pts))
 	var mine []*synth.Point // misses this call owns and computes
 	var mineIdx []int
@@ -237,6 +241,9 @@ func (s *Store) Featurize(ctx context.Context, cfg mapreduce.Config, pts []*synt
 		mineStale = append(mineStale, staleVec)
 	}
 	s.mu.Unlock()
+	span.Add("misses", int64(len(mine)))
+	span.Add("coalesced", int64(len(waitFl)))
+	span.Add("hits", int64(len(pts)-len(mine)-len(waitFl)))
 
 	var computeErr error
 	if len(mine) > 0 {

@@ -37,7 +37,7 @@ func roundTrip(t *testing.T, p Predictor, wantKind string) {
 func TestArtifactRoundTripEarly(t *testing.T) {
 	text, _ := corpusFor("text", 800, false, 0.1, 21)
 	img, _ := corpusFor("image", 500, true, 0.15, 22)
-	m, err := TrainEarly([]Corpus{text, img}, baseConfig())
+	m, err := TrainEarly(ctxbg, []Corpus{text, img}, baseConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestArtifactRoundTripEarly(t *testing.T) {
 func TestArtifactRoundTripIntermediate(t *testing.T) {
 	text, _ := corpusFor("text", 800, false, 0.1, 23)
 	img, _ := corpusFor("image", 500, true, 0.15, 24)
-	m, err := TrainIntermediate([]Corpus{text, img}, baseConfig())
+	m, err := TrainIntermediate(ctxbg, []Corpus{text, img}, baseConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestArtifactRoundTripIntermediate(t *testing.T) {
 func TestArtifactRoundTripDeViSE(t *testing.T) {
 	text, _ := corpusFor("text", 800, false, 0.1, 25)
 	img, _ := corpusFor("image", 500, true, 0.15, 26)
-	m, err := TrainDeViSE([]Corpus{text}, img, baseConfig())
+	m, err := TrainDeViSE(ctxbg, []Corpus{text}, img, baseConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestArtifactRoundTripDeViSE(t *testing.T) {
 
 func TestArtifactFileRoundTrip(t *testing.T) {
 	img, _ := corpusFor("image", 500, true, 0.15, 27)
-	m, err := TrainEarly([]Corpus{img}, baseConfig())
+	m, err := TrainEarly(ctxbg, []Corpus{img}, baseConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestArtifactFileRoundTrip(t *testing.T) {
 
 func TestArtifactRejectsCorruption(t *testing.T) {
 	img, _ := corpusFor("image", 400, true, 0.15, 29)
-	m, err := TrainEarly([]Corpus{img}, baseConfig())
+	m, err := TrainEarly(ctxbg, []Corpus{img}, baseConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

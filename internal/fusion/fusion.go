@@ -7,11 +7,13 @@
 package fusion
 
 import (
+	"context"
 	"fmt"
 
 	"crossmodal/internal/feature"
 	"crossmodal/internal/mapreduce"
 	"crossmodal/internal/model"
+	"crossmodal/internal/trace"
 )
 
 // Corpus is one training data source: vectors of a single data modality with
@@ -121,7 +123,7 @@ type EarlyModel struct {
 }
 
 // TrainEarly fits the early-fusion model on all corpora.
-func TrainEarly(corpora []Corpus, cfg Config) (*EarlyModel, error) {
+func TrainEarly(ctx context.Context, corpora []Corpus, cfg Config) (*EarlyModel, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -133,9 +135,16 @@ func TrainEarly(corpora []Corpus, cfg Config) (*EarlyModel, error) {
 			return nil, err
 		}
 	}
+	ctx, span := trace.Start(ctx, "fusion.early")
+	defer span.End()
 	vecs, targets, weights := pooled(cfg.Schema, corpora)
+	span.SetInt("rows", int64(len(vecs)))
+	vctx, vspan := trace.Start(ctx, "fusion.vectorize")
 	vz := feature.FitVectorizer(cfg.Schema, vecs, feature.WithMaxVocabulary(cfg.MaxVocab))
-	net, err := model.Train(vz.TransformAllWorkers(vecs, cfg.Model.Workers), targets, weights, cfg.Model)
+	rows := vz.TransformAllWorkers(vecs, cfg.Model.Workers)
+	trace.SetInt(vctx, "dims", int64(vz.Width()))
+	vspan.End()
+	net, err := model.Train(ctx, rows, targets, weights, cfg.Model)
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +185,7 @@ type IntermediateModel struct {
 }
 
 // TrainIntermediate fits the two-stage intermediate-fusion model.
-func TrainIntermediate(corpora []Corpus, cfg Config) (*IntermediateModel, error) {
+func TrainIntermediate(ctx context.Context, corpora []Corpus, cfg Config) (*IntermediateModel, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -188,6 +197,9 @@ func TrainIntermediate(corpora []Corpus, cfg Config) (*IntermediateModel, error)
 			return nil, err
 		}
 	}
+	ctx, span := trace.Start(ctx, "fusion.intermediate")
+	defer span.End()
+	span.SetInt("modalities", int64(len(corpora)))
 	allVecs, allTargets, allWeights := pooled(cfg.Schema, corpora)
 	vz := feature.FitVectorizer(cfg.Schema, allVecs, feature.WithMaxVocabulary(cfg.MaxVocab))
 
@@ -198,7 +210,7 @@ func TrainIntermediate(corpora []Corpus, cfg Config) (*IntermediateModel, error)
 		rows := vz.TransformAllWorkers(reproject(cfg.Schema, c.Vectors), cfg.Model.Workers)
 		mcfg := cfg.Model
 		mcfg.Seed = seed + int64(ci)*101
-		net, err := model.Train(rows, c.Targets, c.Weights, mcfg)
+		net, err := model.Train(ctx, rows, c.Targets, c.Weights, mcfg)
 		if err != nil {
 			return nil, fmt.Errorf("fusion: modality %q: %w", c.Name, err)
 		}
@@ -214,7 +226,7 @@ func TrainIntermediate(corpora []Corpus, cfg Config) (*IntermediateModel, error)
 	}
 	mcfg := cfg.Model
 	mcfg.Seed = seed + 7919
-	final, err := model.Train(concat, allTargets, allWeights, mcfg)
+	final, err := model.Train(ctx, concat, allTargets, allWeights, mcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -257,17 +269,19 @@ type DeViSEModel struct {
 // TrainDeViSE fits the three-stage DeViSE pipeline. oldCorpora are the
 // existing (labeled) modalities; newCorpus is the weakly supervised new
 // modality.
-func TrainDeViSE(oldCorpora []Corpus, newCorpus Corpus, cfg Config) (*DeViSEModel, error) {
+func TrainDeViSE(ctx context.Context, oldCorpora []Corpus, newCorpus Corpus, cfg Config) (*DeViSEModel, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	a, err := TrainEarly(oldCorpora, cfg)
+	ctx, span := trace.Start(ctx, "fusion.devise")
+	defer span.End()
+	a, err := TrainEarly(ctx, oldCorpora, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("fusion: devise model A: %w", err)
 	}
 	bcfg := cfg
 	bcfg.Model.Seed = cfg.Model.Seed + 31
-	b, err := TrainEarly([]Corpus{newCorpus}, bcfg)
+	b, err := TrainEarly(ctx, []Corpus{newCorpus}, bcfg)
 	if err != nil {
 		return nil, fmt.Errorf("fusion: devise model B: %w", err)
 	}
@@ -286,7 +300,7 @@ func TrainDeViSE(oldCorpora []Corpus, newCorpus Corpus, cfg Config) (*DeViSEMode
 	for i, p := range pairs {
 		src[i], dst[i] = p.src, p.dst
 	}
-	proj, err := model.FitProjection(src, dst, 25, 0.02, cfg.Model.Seed+63, cfg.Model.Workers)
+	proj, err := model.FitProjection(ctx, src, dst, 25, 0.02, cfg.Model.Seed+63, cfg.Model.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("fusion: devise projection: %w", err)
 	}

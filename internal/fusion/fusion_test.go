@@ -1,6 +1,7 @@
 package fusion
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -8,6 +9,8 @@ import (
 	"crossmodal/internal/metrics"
 	"crossmodal/internal/model"
 )
+
+var ctxbg = context.Background()
 
 var schema = feature.MustSchema(
 	feature.Def{Name: "topic", Kind: feature.Categorical, Set: "C", Servable: true},
@@ -68,7 +71,7 @@ func baseConfig() Config {
 func TestTrainEarly(t *testing.T) {
 	text, _ := corpusFor("text", 1500, false, 0.1, 1)
 	img, _ := corpusFor("image", 800, true, 0.15, 2)
-	m, err := TrainEarly([]Corpus{text, img}, baseConfig())
+	m, err := TrainEarly(ctxbg, []Corpus{text, img}, baseConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,11 +87,11 @@ func TestEarlyBeatsSingleModality(t *testing.T) {
 	img, _ := corpusFor("image", 400, true, 0.35, 5) // noisy, small image corpus
 	test, labels := corpusFor("image-test", 800, true, 0.15, 6)
 
-	both, err := TrainEarly([]Corpus{text, img}, baseConfig())
+	both, err := TrainEarly(ctxbg, []Corpus{text, img}, baseConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	imgOnly, err := TrainEarly([]Corpus{img}, baseConfig())
+	imgOnly, err := TrainEarly(ctxbg, []Corpus{img}, baseConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +105,7 @@ func TestEarlyBeatsSingleModality(t *testing.T) {
 func TestTrainIntermediate(t *testing.T) {
 	text, _ := corpusFor("text", 1200, false, 0.1, 7)
 	img, _ := corpusFor("image", 800, true, 0.15, 8)
-	m, err := TrainIntermediate([]Corpus{text, img}, baseConfig())
+	m, err := TrainIntermediate(ctxbg, []Corpus{text, img}, baseConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +119,7 @@ func TestTrainIntermediate(t *testing.T) {
 func TestTrainDeViSE(t *testing.T) {
 	text, _ := corpusFor("text", 1200, false, 0.1, 10)
 	img, _ := corpusFor("image", 800, true, 0.15, 11)
-	m, err := TrainDeViSE([]Corpus{text}, img, baseConfig())
+	m, err := TrainDeViSE(ctxbg, []Corpus{text}, img, baseConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,11 +137,11 @@ func TestEarlyVsAlternativesOrdering(t *testing.T) {
 	img, _ := corpusFor("image", 900, true, 0.2, 14)
 	test, labels := corpusFor("image-test", 900, true, 0.15, 15)
 
-	early, err := TrainEarly([]Corpus{text, img}, baseConfig())
+	early, err := TrainEarly(ctxbg, []Corpus{text, img}, baseConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	devise, err := TrainDeViSE([]Corpus{text}, img, baseConfig())
+	devise, err := TrainDeViSE(ctxbg, []Corpus{text}, img, baseConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,14 +164,14 @@ func TestCorpusValidation(t *testing.T) {
 		{"weight mismatch", []Corpus{{Name: "bad", Vectors: good.Vectors, Targets: good.Targets, Weights: []float64{1}}}},
 	}
 	for _, tc := range cases {
-		if _, err := TrainEarly(tc.corpora, baseConfig()); err == nil {
+		if _, err := TrainEarly(ctxbg, tc.corpora, baseConfig()); err == nil {
 			t.Errorf("TrainEarly %s: expected error", tc.name)
 		}
-		if _, err := TrainIntermediate(tc.corpora, baseConfig()); err == nil {
+		if _, err := TrainIntermediate(ctxbg, tc.corpora, baseConfig()); err == nil {
 			t.Errorf("TrainIntermediate %s: expected error", tc.name)
 		}
 	}
-	if _, err := TrainEarly([]Corpus{good}, Config{}); err == nil {
+	if _, err := TrainEarly(ctxbg, []Corpus{good}, Config{}); err == nil {
 		t.Error("expected error for missing schema")
 	}
 }
@@ -181,7 +184,7 @@ func TestSchemaRestriction(t *testing.T) {
 		Schema: schema.Sets("A"), // score only
 		Model:  model.Config{Epochs: 5, Seed: 3},
 	}
-	m, err := TrainEarly([]Corpus{img}, restricted)
+	m, err := TrainEarly(ctxbg, []Corpus{img}, restricted)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +208,7 @@ func TestWeightedCorpusMixing(t *testing.T) {
 	for i := range img.Weights {
 		img.Weights[i] = 0.5
 	}
-	if _, err := TrainEarly([]Corpus{text, img}, baseConfig()); err != nil {
+	if _, err := TrainEarly(ctxbg, []Corpus{text, img}, baseConfig()); err != nil {
 		t.Fatalf("mixed weighted/unweighted corpora: %v", err)
 	}
 }

@@ -13,7 +13,7 @@ var fuzzArtifact = sync.OnceValues(func() ([]byte, error) {
 	img, _ := corpusFor("image", 60, true, 0.15, 91)
 	cfg := baseConfig()
 	cfg.Model.Epochs = 1
-	m, err := TrainEarly([]Corpus{img}, cfg)
+	m, err := TrainEarly(ctxbg, []Corpus{img}, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -16,10 +16,12 @@
 package labelmodel
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"crossmodal/internal/lf"
+	"crossmodal/internal/trace"
 )
 
 // Config controls EM fitting.
@@ -96,12 +98,16 @@ func (mod *Model) Propensity(j int) float64 {
 }
 
 // FitGenerative fits the model to a vote matrix by EM.
-func FitGenerative(m *lf.Matrix, cfg Config) (*Model, error) {
+func FitGenerative(ctx context.Context, m *lf.Matrix, cfg Config) (*Model, error) {
 	cfg = cfg.withDefaults()
 	n, k := m.NumPoints(), m.NumLFs()
 	if n == 0 || k == 0 {
 		return nil, fmt.Errorf("labelmodel: empty vote matrix (%dx%d)", n, k)
 	}
+	_, span := trace.Start(ctx, "labelmodel.em")
+	defer span.End()
+	span.SetInt("points", int64(n))
+	span.SetInt("lfs", int64(k))
 	model := &Model{
 		ThetaPos: make([][3]float64, k),
 		ThetaNeg: make([][3]float64, k),
@@ -111,6 +117,7 @@ func FitGenerative(m *lf.Matrix, cfg Config) (*Model, error) {
 	if model.Prior <= 0 || model.Prior >= 1 {
 		model.Prior = 0.5
 	}
+	defer func() { span.SetInt("iters", int64(model.Iters)) }()
 
 	// Initialization: each LF's empirical vote distribution, tilted toward
 	// correctness (an LF's vote is assumed more likely under the matching
@@ -239,12 +246,16 @@ func (mod *Model) Predict(m *lf.Matrix) ([]float64, error) {
 // EM's agreement heuristics, which matters when a high-coverage LF (such as
 // the propagation LF) would otherwise dominate the agreement structure.
 // classBalance fixes the prior; <= 0 uses the dev positive rate.
-func FitSupervised(m *lf.Matrix, labels []int8, cfg Config) (*Model, error) {
+func FitSupervised(ctx context.Context, m *lf.Matrix, labels []int8, cfg Config) (*Model, error) {
 	cfg = cfg.withDefaults()
 	n, k := m.NumPoints(), m.NumLFs()
 	if n == 0 || k == 0 {
 		return nil, fmt.Errorf("labelmodel: empty vote matrix (%dx%d)", n, k)
 	}
+	_, span := trace.Start(ctx, "labelmodel.supervised")
+	defer span.End()
+	span.SetInt("points", int64(n))
+	span.SetInt("lfs", int64(k))
 	if len(labels) != n {
 		return nil, fmt.Errorf("labelmodel: %d votes vs %d labels", n, len(labels))
 	}

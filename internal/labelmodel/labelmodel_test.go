@@ -1,12 +1,15 @@
 package labelmodel
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
 
 	"crossmodal/internal/lf"
 )
+
+var ctxbg = context.Background()
 
 // plant builds a vote matrix from true labels and per-LF accuracies and
 // propensities (propensity is label-independent here).
@@ -43,7 +46,7 @@ func TestFitRecoversAccuracies(t *testing.T) {
 	accs := []float64{0.9, 0.75, 0.6}
 	props := []float64{0.8, 0.7, 0.9}
 	m, _ := plant(20000, accs, props, 0.5, 1)
-	model, err := FitGenerative(m, Config{})
+	model, err := FitGenerative(ctxbg, m, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +69,7 @@ func TestFitImbalancedWithClassBalance(t *testing.T) {
 	accs := []float64{0.85, 0.8, 0.7, 0.65}
 	props := []float64{0.6, 0.5, 0.7, 0.4}
 	m, labels := plant(30000, accs, props, 0.05, 2)
-	model, err := FitGenerative(m, Config{ClassBalance: 0.05})
+	model, err := FitGenerative(ctxbg, m, Config{ClassBalance: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +128,7 @@ func TestLowPrecisionHighLiftLF(t *testing.T) {
 		votes[i] = row
 	}
 	m := &lf.Matrix{Votes: votes, Names: []string{"pos", "neg"}}
-	model, err := FitGenerative(m, Config{ClassBalance: 0.04})
+	model, err := FitGenerative(ctxbg, m, Config{ClassBalance: 0.04})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +160,7 @@ func TestPosteriorWeighsAccurateLFsMore(t *testing.T) {
 	accs := []float64{0.95, 0.6, 0.9}
 	props := []float64{0.9, 0.9, 0.9}
 	m, _ := plant(20000, accs, props, 0.5, 3)
-	model, err := FitGenerative(m, Config{})
+	model, err := FitGenerative(ctxbg, m, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +187,7 @@ func TestPredictDimensionMismatch(t *testing.T) {
 }
 
 func TestFitEmptyMatrix(t *testing.T) {
-	if _, err := FitGenerative(&lf.Matrix{}, Config{}); err == nil {
+	if _, err := FitGenerative(ctxbg, &lf.Matrix{}, Config{}); err == nil {
 		t.Error("expected error for empty matrix")
 	}
 }
@@ -195,7 +198,7 @@ func TestAdversarialLFDoesNotPoisonModel(t *testing.T) {
 	accs := []float64{0.9, 0.15}
 	props := []float64{0.9, 0.9}
 	m, labels := plant(10000, accs, props, 0.5, 4)
-	model, err := FitGenerative(m, Config{})
+	model, err := FitGenerative(ctxbg, m, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +249,7 @@ func TestHardLabels(t *testing.T) {
 
 func TestFitConvergesAndStops(t *testing.T) {
 	m, _ := plant(5000, []float64{0.9, 0.8}, []float64{0.9, 0.9}, 0.5, 5)
-	model, err := FitGenerative(m, Config{MaxIters: 500, Tol: 1e-4})
+	model, err := FitGenerative(ctxbg, m, Config{MaxIters: 500, Tol: 1e-4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,8 +260,8 @@ func TestFitConvergesAndStops(t *testing.T) {
 
 func TestFitDeterministic(t *testing.T) {
 	m, _ := plant(3000, []float64{0.9, 0.7}, []float64{0.8, 0.8}, 0.3, 6)
-	a, _ := FitGenerative(m, Config{})
-	b, _ := FitGenerative(m, Config{})
+	a, _ := FitGenerative(ctxbg, m, Config{})
+	b, _ := FitGenerative(ctxbg, m, Config{})
 	for j := range a.ThetaPos {
 		if a.ThetaPos[j] != b.ThetaPos[j] || a.ThetaNeg[j] != b.ThetaNeg[j] {
 			t.Fatal("EM not deterministic")

@@ -22,6 +22,7 @@ import (
 
 	"crossmodal/internal/feature"
 	"crossmodal/internal/mapreduce"
+	"crossmodal/internal/trace"
 	"crossmodal/internal/xrand"
 )
 
@@ -129,6 +130,9 @@ func BuildGraph(ctx context.Context, cfg GraphConfig, vecs []*feature.Vector, sc
 	if n == 0 {
 		return nil, fmt.Errorf("labelprop: no vertices")
 	}
+	ctx, span := trace.Start(ctx, "labelprop.build_graph")
+	defer span.End()
+	span.SetInt("vertices", int64(n))
 	// Resolve the name-keyed scale/weight maps to index-aligned slices
 	// once; the per-pair path is then allocation- and map-free.
 	kern := feature.NewSimKernel(vecs[0].Schema(), scales, cfg.Weights)
@@ -209,7 +213,9 @@ func BuildGraph(ctx context.Context, cfg GraphConfig, vecs []*feature.Vector, sc
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{adj: symmetrize(directed)}, nil
+	g := &Graph{adj: symmetrize(directed)}
+	span.SetInt("edges", int64(g.NumEdges()))
+	return g, nil
 }
 
 // symmetrize keeps an edge if either endpoint selected it. Each vertex's

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"crossmodal/internal/mapreduce"
+	"crossmodal/internal/trace"
 )
 
 // PropConfig controls the propagation iteration.
@@ -65,6 +66,10 @@ func Propagate(ctx context.Context, g *Graph, seeds map[int]float64, cfg PropCon
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("labelprop: no seed labels")
 	}
+	ctx, span := trace.Start(ctx, "labelprop.propagate")
+	defer span.End()
+	span.SetInt("vertices", int64(n))
+	span.SetInt("seeds", int64(len(seeds)))
 	for v, s := range seeds {
 		if v < 0 || v >= n {
 			return nil, fmt.Errorf("labelprop: seed vertex %d out of range [0,%d)", v, n)
@@ -171,6 +176,7 @@ func Propagate(ctx context.Context, g *Graph, seeds map[int]float64, cfg PropCon
 	}
 	res.Scores = cur
 	res.Reached = reached
+	span.SetInt("iters", int64(res.Iters))
 	return res, nil
 }
 

@@ -22,6 +22,7 @@ import (
 	"crossmodal/internal/feature"
 	"crossmodal/internal/lf"
 	"crossmodal/internal/mapreduce"
+	"crossmodal/internal/trace"
 )
 
 // Config sets the mining thresholds.
@@ -145,6 +146,14 @@ func Mine(ctx context.Context, mrCfg mapreduce.Config, cfg Config, vecs []*featu
 	if err := cfg.validate(); err != nil {
 		return nil, report, err
 	}
+	ctx, span := trace.Start(ctx, "mining")
+	defer span.End()
+	defer func() {
+		span.Add("candidates", int64(report.CandidatesScanned))
+		span.Add("lfs_pos", int64(report.PositiveLFs))
+		span.Add("lfs_neg", int64(report.NegativeLFs))
+		span.Add("lfs_numeric", int64(report.NumericLFs))
+	}()
 	if len(vecs) != len(labels) {
 		return nil, report, fmt.Errorf("mining: %d vectors vs %d labels", len(vecs), len(labels))
 	}

@@ -18,7 +18,7 @@ func benchmarkTrain(b *testing.B, hidden []int, workers int) {
 	cfg := Config{Hidden: hidden, Epochs: 3, LearningRate: 0.02, Seed: 11, Workers: workers}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Train(X, targets, nil, cfg); err != nil {
+		if _, err := Train(ctxbg, X, targets, nil, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -44,7 +44,7 @@ func BenchmarkPredictBatch(b *testing.B) {
 	X, targets := benchTrainData(4000, 128)
 	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			m, err := Train(X[:200], targets[:200], nil,
+			m, err := Train(ctxbg, X[:200], targets[:200], nil,
 				Config{Hidden: []int{32}, Epochs: 1, Seed: 11, Workers: workers})
 			if err != nil {
 				b.Fatal(err)

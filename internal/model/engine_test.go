@@ -18,14 +18,14 @@ func TestTrainWorkerCountInvariance(t *testing.T) {
 	}
 	cfg := Config{Hidden: []int{8}, Seed: 11, Epochs: 3, PositiveWeight: 2}
 	cfg.Workers = 1
-	serial, err := Train(X, targets, sampleWeights, cfg)
+	serial, err := Train(ctxbg, X, targets, sampleWeights, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := serial.Params()
 	for _, workers := range []int{2, runtime.GOMAXPROCS(0), numGradShards + 3} {
 		cfg.Workers = workers
-		m, err := Train(X, targets, sampleWeights, cfg)
+		m, err := Train(ctxbg, X, targets, sampleWeights, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -47,7 +47,7 @@ func TestTrainWorkerCountInvariance(t *testing.T) {
 // agree exactly with the per-sample path.
 func TestPredictBatchMatchesPredictProba(t *testing.T) {
 	X, targets, _ := linearData(300, 12, 0.2, 9)
-	m, err := Train(X, targets, nil, Config{Hidden: []int{6}, Seed: 2, Epochs: 2, Workers: 4})
+	m, err := Train(ctxbg, X, targets, nil, Config{Hidden: []int{6}, Seed: 2, Epochs: 2, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,12 +103,12 @@ func TestFitProjectionWorkerCountInvariance(t *testing.T) {
 		src = append(src, x)
 		dst = append(dst, y)
 	}
-	serial, err := FitProjection(src, dst, 10, 0.03, 5, 1)
+	serial, err := FitProjection(ctxbg, src, dst, 10, 0.03, 5, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 3, 8} {
-		p, err := FitProjection(src, dst, 10, 0.03, 5, workers)
+		p, err := FitProjection(ctxbg, src, dst, 10, 0.03, 5, workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -129,7 +129,7 @@ func TestFitProjectionWorkerCountInvariance(t *testing.T) {
 func TestApplyInto(t *testing.T) {
 	src := [][]float64{{1, 2}, {3, 4}, {-1, 0.5}}
 	dst := [][]float64{{0.5, 1, 2}, {1, 0, -1}, {2, 2, 2}}
-	p, err := FitProjection(src, dst, 5, 0.05, 1, 1)
+	p, err := FitProjection(ctxbg, src, dst, 5, 0.05, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

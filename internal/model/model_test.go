@@ -1,12 +1,15 @@
 package model
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
 
 	"crossmodal/internal/metrics"
 )
+
+var ctxbg = context.Background()
 
 // linearData generates a linearly separable-ish problem with label noise.
 func linearData(n, dim int, noise float64, seed int64) ([][]float64, []float64, []int8) {
@@ -70,7 +73,7 @@ func aucOf(t *testing.T, m *MLP, X [][]float64, labels []int8) float64 {
 
 func TestLogisticRegressionLearnsLinear(t *testing.T) {
 	X, targets, labels := linearData(2000, 8, 0.2, 1)
-	m, err := Train(X, targets, nil, Config{Seed: 2, Epochs: 10})
+	m, err := Train(ctxbg, X, targets, nil, Config{Seed: 2, Epochs: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,11 +90,11 @@ func TestLogisticRegressionLearnsLinear(t *testing.T) {
 
 func TestMLPSolvesXOR(t *testing.T) {
 	X, targets, labels := xorData(1500, 3)
-	lr, err := Train(X, targets, nil, Config{Seed: 4, Epochs: 15})
+	lr, err := Train(ctxbg, X, targets, nil, Config{Seed: 4, Epochs: 15})
 	if err != nil {
 		t.Fatal(err)
 	}
-	mlp, err := Train(X, targets, nil, Config{Hidden: []int{16}, Seed: 4, Epochs: 30, LearningRate: 0.02})
+	mlp, err := Train(ctxbg, X, targets, nil, Config{Hidden: []int{16}, Seed: 4, Epochs: 30, LearningRate: 0.02})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +111,7 @@ func TestTrainSoftTargets(t *testing.T) {
 	// Probabilistic labels: target 0.8 vs 0.2 along one feature.
 	X := [][]float64{{1}, {1}, {-1}, {-1}}
 	targets := []float64{0.8, 0.8, 0.2, 0.2}
-	m, err := Train(X, targets, nil, Config{Seed: 1, Epochs: 800, BatchSize: 4, LearningRate: 0.05, L2: 1e-6})
+	m, err := Train(ctxbg, X, targets, nil, Config{Seed: 1, Epochs: 800, BatchSize: 4, LearningRate: 0.05, L2: 1e-6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +126,7 @@ func TestTrainSampleWeights(t *testing.T) {
 	// Conflicting examples at the same x; weights should decide.
 	X := [][]float64{{1}, {1}}
 	targets := []float64{1, 0}
-	m, err := Train(X, targets, []float64{10, 0.1}, Config{Seed: 1, Epochs: 200, BatchSize: 2})
+	m, err := Train(ctxbg, X, targets, []float64{10, 0.1}, Config{Seed: 1, Epochs: 200, BatchSize: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +150,7 @@ func TestTrainValidation(t *testing.T) {
 		{"target NaN", X, []float64{math.NaN()}, nil},
 	}
 	for _, tc := range cases {
-		if _, err := Train(tc.X, tc.targets, tc.weights, Config{}); err == nil {
+		if _, err := Train(ctxbg, tc.X, tc.targets, tc.weights, Config{}); err == nil {
 			t.Errorf("%s: expected error", tc.name)
 		}
 	}
@@ -192,8 +195,8 @@ func TestHiddenActivation(t *testing.T) {
 
 func TestTrainDeterministic(t *testing.T) {
 	X, targets, _ := linearData(500, 4, 0.3, 7)
-	a, _ := Train(X, targets, nil, Config{Seed: 11, Epochs: 3})
-	b, _ := Train(X, targets, nil, Config{Seed: 11, Epochs: 3})
+	a, _ := Train(ctxbg, X, targets, nil, Config{Seed: 11, Epochs: 3})
+	b, _ := Train(ctxbg, X, targets, nil, Config{Seed: 11, Epochs: 3})
 	for i := 0; i < 10; i++ {
 		if a.PredictProba(X[i]) != b.PredictProba(X[i]) {
 			t.Fatal("training not deterministic for equal seeds")
@@ -212,8 +215,8 @@ func TestPositiveWeightShiftsScores(t *testing.T) {
 			targets[i] = 0
 		}
 	}
-	plain, _ := Train(X, targets, nil, Config{Seed: 3, Epochs: 5})
-	boosted, _ := Train(X, targets, nil, Config{Seed: 3, Epochs: 5, PositiveWeight: 8})
+	plain, _ := Train(ctxbg, X, targets, nil, Config{Seed: 3, Epochs: 5})
+	boosted, _ := Train(ctxbg, X, targets, nil, Config{Seed: 3, Epochs: 5, PositiveWeight: 8})
 	var meanPlain, meanBoost float64
 	for i := range X {
 		meanPlain += plain.PredictProba(X[i])
@@ -240,7 +243,7 @@ func TestFitProjection(t *testing.T) {
 		src = append(src, x)
 		dst = append(dst, y)
 	}
-	p, err := FitProjection(src, dst, 40, 0.05, 1, 2)
+	p, err := FitProjection(ctxbg, src, dst, 40, 0.05, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +259,7 @@ func TestFitProjection(t *testing.T) {
 	if mse > 0.01 {
 		t.Errorf("projection MSE = %.5f, want < 0.01", mse)
 	}
-	if _, err := FitProjection(nil, nil, 1, 1, 1, 1); err == nil {
+	if _, err := FitProjection(ctxbg, nil, nil, 1, 1, 1, 1); err == nil {
 		t.Error("expected error for empty projection data")
 	}
 }

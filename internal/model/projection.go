@@ -1,10 +1,13 @@
 package model
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sync"
+
+	"crossmodal/internal/trace"
 )
 
 // Projection is a learned linear map between activation spaces — DeViSE's
@@ -24,10 +27,13 @@ type Projection struct {
 // to workers goroutines (0 means GOMAXPROCS), each replaying the same
 // precomputed epoch orders with zero per-sample allocations. Results are
 // bit-for-bit identical for any worker count.
-func FitProjection(src, dst [][]float64, epochs int, lr float64, seed int64, workers int) (*Projection, error) {
+func FitProjection(ctx context.Context, src, dst [][]float64, epochs int, lr float64, seed int64, workers int) (*Projection, error) {
 	if len(src) == 0 || len(src) != len(dst) {
 		return nil, fmt.Errorf("model: projection needs matched nonempty rows (%d vs %d)", len(src), len(dst))
 	}
+	_, span := trace.Start(ctx, "model.projection")
+	defer span.End()
+	span.SetInt("rows", int64(len(src)))
 	inDim, outDim := len(src[0]), len(dst[0])
 	if epochs <= 0 {
 		epochs = 20

@@ -24,7 +24,7 @@ func trainToy(t *testing.T, hidden []int, seed int64) (*MLP, [][]float64) {
 			y[i] = 1
 		}
 	}
-	m, err := Train(X, y, nil, Config{Hidden: hidden, Epochs: 4, Seed: seed})
+	m, err := Train(ctxbg, X, y, nil, Config{Hidden: hidden, Epochs: 4, Seed: seed})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestProjectionGobRoundTripExact(t *testing.T) {
 		src[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
 		dst[i] = []float64{src[i][0] + src[i][1], src[i][2] * 2}
 	}
-	p, err := FitProjection(src, dst, 10, 0.05, 9, 1)
+	p, err := FitProjection(ctxbg, src, dst, 10, 0.05, 9, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

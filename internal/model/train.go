@@ -1,10 +1,13 @@
 package model
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sync"
+
+	"crossmodal/internal/trace"
 )
 
 // numGradShards is the fixed number of per-minibatch gradient accumulators.
@@ -205,7 +208,7 @@ func (t *trainer) accumulate(sh *gradShard, x []float64, target, w float64) {
 // whose gradient at the output is simply p - target. Minibatches are
 // gradient-sharded across cfg.Workers goroutines; the result is identical
 // for any worker count.
-func Train(X [][]float64, targets []float64, sampleWeights []float64, cfg Config) (*MLP, error) {
+func Train(ctx context.Context, X [][]float64, targets []float64, sampleWeights []float64, cfg Config) (*MLP, error) {
 	if len(X) == 0 {
 		return nil, fmt.Errorf("model: no training data")
 	}
@@ -221,6 +224,11 @@ func Train(X [][]float64, targets []float64, sampleWeights []float64, cfg Config
 		}
 	}
 	cfg = cfg.withDefaults()
+	ctx, span := trace.Start(ctx, "model.train")
+	defer span.End()
+	span.SetInt("rows", int64(len(X)))
+	span.SetInt("features", int64(len(X[0])))
+	span.SetInt("epochs", int64(cfg.Epochs))
 	m, err := New(len(X[0]), cfg.Hidden, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -234,6 +242,7 @@ func Train(X [][]float64, targets []float64, sampleWeights []float64, cfg Config
 		order[i] = i
 	}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		_, epSpan := trace.Start(ctx, "model.epoch")
 		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
 		for start := 0; start < len(order); start += cfg.BatchSize {
 			end := start + cfg.BatchSize
@@ -241,7 +250,9 @@ func Train(X [][]float64, targets []float64, sampleWeights []float64, cfg Config
 				end = len(order)
 			}
 			t.step(X, targets, sampleWeights, order[start:end])
+			epSpan.Add("batches", 1)
 		}
+		epSpan.End()
 	}
 	return m, nil
 }

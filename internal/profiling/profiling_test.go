@@ -1,0 +1,90 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartDisabled(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		x += float64(i) * 1.000001
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", filepath.Base(path))
+		}
+	}
+}
+
+func TestStartMemOnly(t *testing.T) {
+	mem := filepath.Join(t.TempDir(), "mem.pprof")
+	stop, err := Start("", mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := os.Stat(mem); err != nil || info.Size() == 0 {
+		t.Fatalf("heap profile missing or empty: %v", err)
+	}
+}
+
+func TestStartBadCPUPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu"), ""); err == nil {
+		t.Fatal("expected error for uncreatable CPU profile path")
+	}
+}
+
+func TestStopBadMemPath(t *testing.T) {
+	stop, err := Start("", filepath.Join(t.TempDir(), "no", "such", "dir", "mem"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err == nil {
+		t.Fatal("expected error for uncreatable heap profile path")
+	}
+}
+
+// TestStartTwiceSequential: a stopped profiler must be restartable — the
+// commands defer stop and may be invoked back to back in tests.
+func TestStartTwiceSequential(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 2; i++ {
+		stop, err := Start(filepath.Join(dir, "cpu"), "")
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if err := stop(); err != nil {
+			t.Fatalf("round %d stop: %v", i, err)
+		}
+	}
+}

@@ -99,7 +99,7 @@ func TestGuardRetriesRescueTransientFailure(t *testing.T) {
 	}
 	bounds := []struct{ lo, hi time.Duration }{
 		{time.Duration(0.8 * float64(time.Millisecond)), time.Duration(1.2 * float64(time.Millisecond))},
-		{time.Duration(0.8 * float64(2 * time.Millisecond)), time.Duration(1.2 * float64(2 * time.Millisecond))},
+		{time.Duration(0.8 * float64(2*time.Millisecond)), time.Duration(1.2 * float64(2*time.Millisecond))},
 	}
 	for i, d := range slept {
 		if d < bounds[i].lo || d > bounds[i].hi {
@@ -109,7 +109,7 @@ func TestGuardRetriesRescueTransientFailure(t *testing.T) {
 }
 
 func TestGuardExhaustsBoundedAttempts(t *testing.T) {
-	svc := newFakeSvc("svc", 1 << 20) // never recovers
+	svc := newFakeSvc("svc", 1<<20) // never recovers
 	g := NewGuard(svc, quietPolicy(nil))
 
 	_, err := g.Observe(context.Background(), testPoint(1))

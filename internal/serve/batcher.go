@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"crossmodal/internal/synth"
+	"crossmodal/internal/trace"
 )
 
 // The micro-batcher is the serving-side twin of the training engine's batch
@@ -135,6 +136,7 @@ func (b *Batcher) Submit(ctx context.Context, pt *synth.Point, deadline time.Tim
 	default:
 		if b.met != nil {
 			b.met.ShedQueue.Add(1)
+			trace.Count(nil, "serve.shed_queue", 1)
 		}
 		return 0, 0, ErrQueueFull
 	}
@@ -229,6 +231,8 @@ func (b *Batcher) executor() {
 
 // run executes one batch.
 func (b *Batcher) run(batch []*request) {
+	sctx, span := trace.Start(context.Background(), "serve.batch")
+	defer span.End()
 	now := time.Now()
 	live := batch[:0]
 	for _, req := range batch {
@@ -236,6 +240,7 @@ func (b *Batcher) run(batch []*request) {
 			if b.met != nil {
 				b.met.ShedDeadline.Add(1)
 			}
+			span.Add("shed_deadline", 1)
 			req.done <- response{err: fmt.Errorf("%w (late by %s)", ErrDeadline, now.Sub(req.deadline))}
 			continue
 		}
@@ -251,9 +256,10 @@ func (b *Batcher) run(batch []*request) {
 	for i, req := range live {
 		pts[i] = req.pt
 	}
+	span.Add("items", int64(len(live)))
 	// The batch runs under the latest deadline any live request still has;
 	// requests without deadlines leave the batch unbounded.
-	ctx := context.Background()
+	ctx := sctx
 	var latest time.Time
 	bounded := true
 	for _, req := range live {

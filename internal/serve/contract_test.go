@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+
+	"crossmodal/internal/mapreduce"
+	"crossmodal/internal/synth"
+	"crossmodal/internal/xrand"
+)
+
+// TestDerivePointSeedContract pins DerivePoint to the same per-ID seed mix
+// synth.BuildDataset stamps on corpus points. A drift here would make a
+// served point featurize differently from the training corpus point with
+// the same ID — silently, since both sides would still be self-consistent.
+func TestDerivePointSeedContract(t *testing.T) {
+	fixture(t)
+	for _, id := range []int{0, 1, 17, 4095, 1 << 20} {
+		p := DerivePoint(fx.world, fxSeed, id, synth.Image, 0)
+		want := xrand.Mix(uint64(int64(fxSeed))<<20 ^ uint64(id))
+		if p.Seed != want {
+			t.Fatalf("id %d: Seed = %#x, want Mix(baseSeed<<20 ^ id) = %#x", id, p.Seed, want)
+		}
+		if p.ID != id || p.Modality != synth.Image {
+			t.Fatalf("id %d: point fields %+v", id, p)
+		}
+	}
+}
+
+// TestDerivePointRestartDeterminism: a freshly constructed world (a
+// "restarted server") must derive bit-identical points and features for the
+// same (baseSeed, id) pairs.
+func TestDerivePointRestartDeterminism(t *testing.T) {
+	fixture(t)
+	world2, err := synth.NewWorld(synth.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pts1, pts2 []*synth.Point
+	for id := 200; id < 210; id++ {
+		pts1 = append(pts1, DerivePoint(fx.world, fxSeed, id, synth.Image, 0))
+		pts2 = append(pts2, DerivePoint(world2, fxSeed, id, synth.Image, 0))
+	}
+	for i := range pts1 {
+		if pts1[i].Seed != pts2[i].Seed {
+			t.Fatalf("point %d: seeds differ across restarts", pts1[i].ID)
+		}
+		if !reflect.DeepEqual(pts1[i].Entity, pts2[i].Entity) {
+			t.Fatalf("point %d: entities differ across restarts", pts1[i].ID)
+		}
+	}
+	v1, err := fx.store.Featurize(ctxbg, mapreduce.Config{}, pts1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := fx.store.Featurize(ctxbg, mapreduce.Config{}, pts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v1 {
+		if v1[i].String() != v2[i].String() {
+			t.Fatalf("point %d: features differ across restarts:\n%s\nvs\n%s",
+				pts1[i].ID, v1[i], v2[i])
+		}
+	}
+}
+
+// TestDerivePointVideoFrames: frames pass through, and the video seed stream
+// is distinct from the image one for the same ID.
+func TestDerivePointVideoFrames(t *testing.T) {
+	fixture(t)
+	v := DerivePoint(fx.world, fxSeed, 31, synth.Video, 5)
+	if v.Frames != 5 || v.Modality != synth.Video {
+		t.Fatalf("video point = %+v", v)
+	}
+	img := DerivePoint(fx.world, fxSeed, 31, synth.Image, 0)
+	if v.Seed != img.Seed {
+		// Seed is modality-independent by design: it names the underlying
+		// observation, and the modality picks the rendering.
+		t.Fatalf("seed should be modality-independent: video %#x vs image %#x", v.Seed, img.Seed)
+	}
+}

@@ -62,8 +62,8 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
-func floatBits(f float64) uint64  { return math.Float64bits(f) }
-func floatFrom(b uint64) float64  { return math.Float64frombits(b) }
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func floatFrom(b uint64) float64 { return math.Float64frombits(b) }
 
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.total.Load() }

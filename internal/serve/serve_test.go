@@ -25,6 +25,8 @@ import (
 	"crossmodal/internal/synth"
 )
 
+var ctxbg = context.Background()
+
 const fxSeed = 17
 
 // fx is the shared end-to-end fixture: one world, one resource library, one
@@ -90,7 +92,7 @@ func buildFixture() error {
 	}
 	corpus := fusion.Corpus{Name: "hand", Vectors: vecs, Targets: targets}
 	train := func(seed int64) (fusion.Predictor, error) {
-		return fusion.TrainEarly([]fusion.Corpus{corpus}, fusion.Config{
+		return fusion.TrainEarly(ctxbg, []fusion.Corpus{corpus}, fusion.Config{
 			Schema: lib.Schema().Servable(),
 			Model:  model.Config{Hidden: []int{8}, Epochs: 2, Seed: seed, LearningRate: 0.05},
 		})

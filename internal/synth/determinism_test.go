@@ -1,0 +1,154 @@
+package synth
+
+import (
+	"reflect"
+	"testing"
+
+	"crossmodal/internal/xrand"
+)
+
+// pointFingerprint flattens the fields that downstream stages (featurization,
+// labeling, serving) can observe.
+type pointFingerprint struct {
+	ID       int
+	Modality Modality
+	Seed     uint64
+	Frames   int
+	Label    int8
+	Topic    int
+	User     int
+	URLGroup int
+	Objects  []int
+	Keywords []int
+}
+
+func fingerprint(p *Point) pointFingerprint {
+	return pointFingerprint{
+		ID:       p.ID,
+		Modality: p.Modality,
+		Seed:     p.Seed,
+		Frames:   p.Frames,
+		Label:    p.Label,
+		Topic:    p.Entity.Topic,
+		User:     p.Entity.User,
+		URLGroup: p.Entity.URLGroup,
+		Objects:  p.Entity.Objects,
+		Keywords: p.Entity.Keywords,
+	}
+}
+
+func fingerprints(pts []*Point) []pointFingerprint {
+	out := make([]pointFingerprint, len(pts))
+	for i, p := range pts {
+		out[i] = fingerprint(p)
+	}
+	return out
+}
+
+// TestBuildDatasetDeterminism: two independently constructed worlds and
+// datasets from the same seeds must be bit-identical, corpus by corpus. The
+// pipeline's Workers knob never reaches dataset sampling, so this is the
+// invariant that makes parallel featurization runs comparable at all.
+func TestBuildDatasetDeterminism(t *testing.T) {
+	cfg := DatasetConfig{Seed: 11, NumText: 800, NumUnlabeledImage: 400, NumHandLabelPool: 300, NumTest: 300}
+	build := func() *Dataset {
+		w := MustWorld(DefaultConfig())
+		task, err := TaskByName("CT2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := BuildDataset(w, task, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds
+	}
+	a, b := build(), build()
+	for _, corpus := range []struct {
+		name string
+		x, y []*Point
+	}{
+		{"LabeledText", a.LabeledText, b.LabeledText},
+		{"UnlabeledImage", a.UnlabeledImage, b.UnlabeledImage},
+		{"HandLabelPool", a.HandLabelPool, b.HandLabelPool},
+		{"TestImage", a.TestImage, b.TestImage},
+	} {
+		if !reflect.DeepEqual(fingerprints(corpus.x), fingerprints(corpus.y)) {
+			t.Errorf("%s differs between identically seeded builds", corpus.name)
+		}
+	}
+}
+
+// TestSampleVideoDeterminism: repeated draws with the same seed are
+// bit-identical; different seeds diverge.
+func TestSampleVideoDeterminism(t *testing.T) {
+	w := MustWorld(DefaultConfig())
+	task, err := TaskByName("CT1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := task.Calibrate(w, 5000, 2); err != nil {
+		t.Fatal(err)
+	}
+	a := SampleVideo(w, task, 20, 3, 9)
+	b := SampleVideo(w, task, 20, 3, 9)
+	if !reflect.DeepEqual(fingerprints(a), fingerprints(b)) {
+		t.Error("same seed produced different video corpora")
+	}
+	c := SampleVideo(w, task, 20, 3, 10)
+	if reflect.DeepEqual(fingerprints(a), fingerprints(c)) {
+		t.Error("different seeds produced identical video corpora")
+	}
+}
+
+// TestPointSeedContract pins the per-ID seed formulas. serve.DerivePoint
+// re-derives corpus points from (baseSeed, id) alone, so these mixes are a
+// wire contract: changing them silently breaks replayed featurization for
+// every deployed model (see PR 3's serving contract).
+func TestPointSeedContract(t *testing.T) {
+	w := MustWorld(DefaultConfig())
+	task, err := TaskByName("CT1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DatasetConfig{Seed: 21, NumText: 300, NumUnlabeledImage: 200, NumHandLabelPool: 200, NumTest: 200}
+	ds, err := BuildDataset(w, task, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(append(append(append([]*Point{}, ds.LabeledText...), ds.UnlabeledImage...), ds.HandLabelPool...), ds.TestImage...)
+	for _, p := range all {
+		want := xrand.Mix(uint64(cfg.Seed)<<20 ^ uint64(p.ID))
+		if p.Seed != want {
+			t.Fatalf("point %d: Seed = %#x, want Mix(seed<<20 ^ id) = %#x", p.ID, p.Seed, want)
+		}
+	}
+
+	if err := task.Calibrate(w, 5000, 2); err != nil {
+		t.Fatal(err)
+	}
+	const vidSeed = 9
+	for i, v := range SampleVideo(w, task, 10, 2, vidSeed) {
+		want := xrand.Mix(uint64(int64(vidSeed))<<20 ^ uint64(i) ^ 0xf00d)
+		if v.Seed != want {
+			t.Fatalf("video %d: Seed = %#x, want Mix(seed<<20 ^ i ^ 0xf00d) = %#x", i, v.Seed, want)
+		}
+	}
+}
+
+// TestFeatureDeterminismFromSeed: the observation streams depend only on
+// Point.Seed and the channel name — not on the corpus position, the world
+// instance, or anything process-local. This is what lets a server rebuild a
+// point and featurize it identically.
+func TestFeatureDeterminismFromSeed(t *testing.T) {
+	p1 := &Point{ID: 5, Seed: 0xdeadbeef}
+	p2 := &Point{ID: 900, Seed: 0xdeadbeef} // different ID, same seed
+	for _, ch := range []string{"svcA", "svcB", "embed"} {
+		if p1.ObservationRNG(ch).Float64() != p2.ObservationRNG(ch).Float64() {
+			t.Errorf("channel %q: observation stream depends on more than Seed", ch)
+		}
+		if p1.FrameRNG(ch, 2).Float64() != p2.FrameRNG(ch, 2).Float64() {
+			t.Errorf("channel %q: frame stream depends on more than Seed", ch)
+		}
+	}
+}

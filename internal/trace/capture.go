@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Capture installs a fresh default tracer and returns a stop function that
+// uninstalls it and writes the collected trace: Chrome trace_event JSON to
+// chromePath (skipped when empty) and the stage-tree summary to summaryW
+// (skipped when nil). It backs the -trace / -trace-summary flags of the
+// command-line binaries; defer the stop in main.
+//
+// When both chromePath is empty and summaryW is nil no tracer is installed
+// and the returned stop does nothing, so the binary keeps the zero-overhead
+// disabled path.
+func Capture(chromePath string, summaryW io.Writer) (stop func() error) {
+	if chromePath == "" && summaryW == nil {
+		return func() error { return nil }
+	}
+	t := New()
+	SetDefault(t)
+	return func() error {
+		SetDefault(nil)
+		if chromePath != "" {
+			f, err := os.Create(chromePath)
+			if err != nil {
+				return fmt.Errorf("trace: %w", err)
+			}
+			if err := t.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return fmt.Errorf("trace: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("trace: %w", err)
+			}
+		}
+		if summaryW != nil {
+			if err := t.WriteSummary(summaryW); err != nil {
+				return fmt.Errorf("trace: %w", err)
+			}
+		}
+		return nil
+	}
+}

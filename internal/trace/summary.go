@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// summaryNode aggregates same-named sibling spans into one stage-tree line:
+// repeated stages (training epochs, serving batches) collapse to a count,
+// a total duration, and summed counters.
+type summaryNode struct {
+	name     string
+	count    int
+	total    time.Duration
+	firstIdx int // span table order of the first instance, for stable sorting
+	attrs    []Attr
+	children map[string]*summaryNode
+}
+
+func newSummaryNode(name string, idx int) *summaryNode {
+	return &summaryNode{name: name, firstIdx: idx, children: make(map[string]*summaryNode)}
+}
+
+// merge folds one span instance's attributes in: counters sum, plain
+// attributes keep the latest value.
+func (n *summaryNode) merge(rec spanRecord) {
+	n.count++
+	n.total += rec.end - rec.start
+	for _, a := range rec.attrs {
+		found := false
+		for i := range n.attrs {
+			if n.attrs[i].Key == a.Key {
+				if a.IsCounter() && n.attrs[i].IsCounter() {
+					n.attrs[i].i += a.i
+				} else {
+					n.attrs[i] = a
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			n.attrs = append(n.attrs, a)
+		}
+	}
+}
+
+// WriteSummary renders the recorded spans as an indented stage tree:
+//
+//	pipeline.run                    2.41s
+//	  featurize.text                0.52s   [points=2000]
+//	  train                         0.61s
+//	    train.epoch                 0.58s ×6  [batches=376]
+//
+// Same-named siblings aggregate into one line (×N). Process-wide counters
+// recorded outside any span print at the end.
+func (t *Tracer) WriteSummary(w io.Writer) error {
+	spans := t.snapshot()
+	root := newSummaryNode("", -1)
+	nodeOf := make([]*summaryNode, len(spans)) // span id-1 → its aggregate node
+	for i, rec := range spans {
+		parent := root
+		if rec.parent > 0 {
+			parent = nodeOf[rec.parent-1]
+		}
+		child, ok := parent.children[rec.name]
+		if !ok {
+			child = newSummaryNode(rec.name, i)
+			parent.children[rec.name] = child
+		}
+		child.merge(rec)
+		nodeOf[i] = child
+	}
+	var total time.Duration
+	for _, rec := range spans {
+		if rec.parent == 0 && rec.end-rec.start > 0 {
+			total += rec.end - rec.start
+		}
+	}
+	if _, err := fmt.Fprintf(w, "TRACE SUMMARY (%d spans, root total %s)\n", len(spans), total.Round(time.Microsecond)); err != nil {
+		return err
+	}
+	if err := writeNode(w, root, 0); err != nil {
+		return err
+	}
+	counters := t.Counters()
+	if len(counters) > 0 {
+		keys := make([]string, 0, len(counters))
+		for k := range counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if _, err := fmt.Fprintln(w, "process counters:"); err != nil {
+			return err
+		}
+		for _, k := range keys {
+			if _, err := fmt.Fprintf(w, "  %-36s %d\n", k, counters[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeNode(w io.Writer, n *summaryNode, depth int) error {
+	kids := make([]*summaryNode, 0, len(n.children))
+	for _, c := range n.children {
+		kids = append(kids, c)
+	}
+	sort.Slice(kids, func(a, b int) bool { return kids[a].firstIdx < kids[b].firstIdx })
+	for _, c := range kids {
+		indent := strings.Repeat("  ", depth)
+		line := fmt.Sprintf("%s%-*s %10s", indent, 34-len(indent), c.name, c.total.Round(time.Microsecond))
+		if c.count > 1 {
+			line += fmt.Sprintf(" ×%d", c.count)
+		}
+		if len(c.attrs) > 0 {
+			parts := make([]string, len(c.attrs))
+			for i, a := range c.attrs {
+				parts[i] = fmt.Sprintf("%s=%v", a.Key, a.Value())
+			}
+			line += "  [" + strings.Join(parts, " ") + "]"
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+		if err := writeNode(w, c, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -5,10 +5,13 @@
 package tuner
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+
+	"crossmodal/internal/trace"
 )
 
 // Params is one sampled hyperparameter assignment.
@@ -150,19 +153,25 @@ type Trial struct {
 // RandomSearch samples trials assignments, evaluates objective on each, and
 // returns the best (highest score) plus the full history. The first
 // objective error aborts the search.
-func RandomSearch(space *Space, objective func(Params) (float64, error), trials int, seed int64) (Trial, []Trial, error) {
+func RandomSearch(ctx context.Context, space *Space, objective func(Params) (float64, error), trials int, seed int64) (Trial, []Trial, error) {
 	if err := space.validate(); err != nil {
 		return Trial{}, nil, err
 	}
 	if trials <= 0 {
 		return Trial{}, nil, fmt.Errorf("tuner: trials must be positive, got %d", trials)
 	}
+	ctx, span := trace.Start(ctx, "tuner.random_search")
+	defer span.End()
+	span.SetInt("trials", int64(trials))
 	rng := rand.New(rand.NewSource(seed))
 	history := make([]Trial, 0, trials)
 	best := Trial{Score: math.Inf(-1)}
 	for i := 0; i < trials; i++ {
 		params := space.Sample(rng)
+		_, tspan := trace.Start(ctx, "tuner.trial")
 		score, err := objective(params)
+		tspan.SetFloat("score", score)
+		tspan.End()
 		if err != nil {
 			return Trial{}, history, fmt.Errorf("tuner: trial %d: %w", i, err)
 		}
@@ -172,6 +181,7 @@ func RandomSearch(space *Space, objective func(Params) (float64, error), trials 
 			best = tr
 		}
 	}
+	span.SetFloat("best", best.Score)
 	return best, history, nil
 }
 
@@ -179,10 +189,13 @@ func RandomSearch(space *Space, objective func(Params) (float64, error), trials 
 // sampled assignments at minBudget, keep the top 1/eta at each rung with
 // eta× the budget, until one (or maxBudget) remains. The objective receives
 // the budget (e.g. training epochs) alongside the params.
-func SuccessiveHalving(space *Space, objective func(Params, int) (float64, error), initial, minBudget, maxBudget int, eta float64, seed int64) (Trial, error) {
+func SuccessiveHalving(ctx context.Context, space *Space, objective func(Params, int) (float64, error), initial, minBudget, maxBudget int, eta float64, seed int64) (Trial, error) {
 	if err := space.validate(); err != nil {
 		return Trial{}, err
 	}
+	ctx, span := trace.Start(ctx, "tuner.halving")
+	defer span.End()
+	span.SetInt("initial", int64(initial))
 	if initial <= 0 || minBudget <= 0 || maxBudget < minBudget {
 		return Trial{}, fmt.Errorf("tuner: bad halving parameters (initial=%d budgets=%d..%d)", initial, minBudget, maxBudget)
 	}
@@ -196,13 +209,18 @@ func SuccessiveHalving(space *Space, objective func(Params, int) (float64, error
 	}
 	budget := minBudget
 	for {
+		_, rung := trace.Start(ctx, "tuner.rung")
+		rung.SetInt("budget", int64(budget))
+		rung.SetInt("pool", int64(len(pool)))
 		for i := range pool {
 			score, err := objective(pool[i].Params, budget)
 			if err != nil {
+				rung.End()
 				return Trial{}, fmt.Errorf("tuner: halving at budget %d: %w", budget, err)
 			}
 			pool[i].Score = score
 		}
+		rung.End()
 		sort.Slice(pool, func(a, b int) bool { return pool[a].Score > pool[b].Score })
 		if len(pool) == 1 || budget >= maxBudget {
 			return pool[0], nil

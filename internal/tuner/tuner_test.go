@@ -1,11 +1,14 @@
 package tuner
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
 	"testing"
 )
+
+var ctxbg = context.Background()
 
 func quadraticSpace() *Space {
 	return new(Space).Float("x", -5, 5).Float("y", -5, 5)
@@ -16,7 +19,7 @@ func TestRandomSearchFindsNearOptimum(t *testing.T) {
 		x, y := p.Float("x"), p.Float("y")
 		return -(x-1)*(x-1) - (y+2)*(y+2), nil
 	}
-	best, history, err := RandomSearch(quadraticSpace(), obj, 300, 1)
+	best, history, err := RandomSearch(ctxbg, quadraticSpace(), obj, 300, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +36,7 @@ func TestRandomSearchFindsNearOptimum(t *testing.T) {
 
 func TestRandomSearchPropagatesError(t *testing.T) {
 	boom := errors.New("boom")
-	_, _, err := RandomSearch(quadraticSpace(), func(Params) (float64, error) { return 0, boom }, 5, 1)
+	_, _, err := RandomSearch(ctxbg, quadraticSpace(), func(Params) (float64, error) { return 0, boom }, 5, 1)
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
@@ -49,11 +52,11 @@ func TestSpaceValidation(t *testing.T) {
 		new(Space).Float("x", 0, 1).Float("x", 0, 1),
 	}
 	for i, s := range cases {
-		if _, _, err := RandomSearch(s, func(Params) (float64, error) { return 0, nil }, 1, 1); err == nil {
+		if _, _, err := RandomSearch(ctxbg, s, func(Params) (float64, error) { return 0, nil }, 1, 1); err == nil {
 			t.Errorf("case %d: expected validation error", i)
 		}
 	}
-	if _, _, err := RandomSearch(quadraticSpace(), func(Params) (float64, error) { return 0, nil }, 0, 1); err == nil {
+	if _, _, err := RandomSearch(ctxbg, quadraticSpace(), func(Params) (float64, error) { return 0, nil }, 0, 1); err == nil {
 		t.Error("expected error for zero trials")
 	}
 }
@@ -129,7 +132,7 @@ func TestSuccessiveHalving(t *testing.T) {
 		return float64(budget) - x*x, nil
 	}
 	s := new(Space).Float("x", -3, 3)
-	best, err := SuccessiveHalving(s, obj, 16, 1, 8, 2, 4)
+	best, err := SuccessiveHalving(ctxbg, s, obj, 16, 1, 8, 2, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,14 +148,14 @@ func TestSuccessiveHalving(t *testing.T) {
 func TestSuccessiveHalvingValidation(t *testing.T) {
 	s := new(Space).Float("x", 0, 1)
 	obj := func(Params, int) (float64, error) { return 0, nil }
-	if _, err := SuccessiveHalving(s, obj, 0, 1, 8, 2, 1); err == nil {
+	if _, err := SuccessiveHalving(ctxbg, s, obj, 0, 1, 8, 2, 1); err == nil {
 		t.Error("expected error for zero initial")
 	}
-	if _, err := SuccessiveHalving(s, obj, 4, 8, 1, 2, 1); err == nil {
+	if _, err := SuccessiveHalving(ctxbg, s, obj, 4, 8, 1, 2, 1); err == nil {
 		t.Error("expected error for maxBudget < minBudget")
 	}
 	boom := errors.New("boom")
-	if _, err := SuccessiveHalving(s, func(Params, int) (float64, error) { return 0, boom }, 2, 1, 2, 2, 1); !errors.Is(err, boom) {
+	if _, err := SuccessiveHalving(ctxbg, s, func(Params, int) (float64, error) { return 0, boom }, 2, 1, 2, 2, 1); !errors.Is(err, boom) {
 		t.Errorf("err = %v", err)
 	}
 }
