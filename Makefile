@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test build bench bench-json race serve-bench chaos cover cover-check trace-smoke
+.PHONY: check test build bench bench-json bench-smoke race serve-bench chaos cover cover-check trace-smoke
 
 ## check: tier-1 gate — build everything, vet it, run every test.
 check:
@@ -28,6 +28,17 @@ bench-json:
 	  $(GO) test ./internal/labelprop/ -run xxx -bench 'BenchmarkBuildGraph|BenchmarkPropagate' -benchmem ; \
 	  $(GO) test . -run xxx -bench 'BenchmarkPipelineRun' -benchmem -benchtime 3x ) \
 	| $(GO) run ./cmd/benchjson -o BENCH_curation.json
+
+## bench-smoke: the perf-contract gate — asserts the claims the fast paths
+## are allowed to make: LSH recall >= 0.95 against exact blocked curation
+## (and bit-identical graphs with Exact: true), quantized serving within its
+## divergence bounds with identical decisions, and zero steady-state allocs
+## per request in the batcher and quantized forward paths.
+bench-smoke:
+	$(GO) test -count=1 -run 'TestLSHRecallFloor|TestLSHExactKnob|TestRecallMetric' ./internal/labelprop/
+	$(GO) test -count=1 -run 'TestPredictBatchQ' ./internal/model/
+	$(GO) test -count=1 -run 'TestEarlyQuant|TestArtifactPreservesPrecision' ./internal/fusion/
+	$(GO) test -count=1 -run 'TestQuantizedServingEndToEnd|TestRegistryRejectsDivergentQuantization|TestBatcherSubmitZeroAllocs' ./internal/serve/
 
 ## race: race-detector pass over the concurrent packages (training engine,
 ## mapreduce, label propagation, feature encoding, feature store, serving).
@@ -77,9 +88,12 @@ chaos:
 	$(GO) test -run xxx -fuzz FuzzArtifactLoad -fuzztime 5s ./internal/fusion/
 	$(GO) test -run xxx -fuzz FuzzEarlyModelGobDecode -fuzztime 5s ./internal/fusion/
 
-## serve-bench: end-to-end serving benchmark — train a small artifact, start
-## the server, drive it with loadgen, snapshot the latency/throughput stats
-## to BENCH_serve.json. Uses a fixed high port; override with SERVE_ADDR.
+## serve-bench: end-to-end serving benchmark — train a small artifact
+## (stamped for f32 quantized serving by default), start the server, drive
+## it closed-loop with loadgen (8-point batched requests over one pipelined
+## connection — the latency-honest high-throughput shape), snapshot the
+## stats to BENCH_serve.json. Uses a fixed high port; override with
+## SERVE_ADDR.
 SERVE_ADDR ?= 127.0.0.1:18099
 serve-bench:
 	mkdir -p bin
@@ -88,6 +102,6 @@ serve-bench:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	bin/serve -train bin/model.xma -train-only -scale 0.05
 	bin/serve -model bin/model.xma -addr $(SERVE_ADDR) & echo $$! > bin/serve.pid
-	bin/loadgen -url http://$(SERVE_ADDR) -mode closed -duration 5s -conns 8 \
+	bin/loadgen -url http://$(SERVE_ADDR) -mode closed -duration 5s -conns 1 -batch 8 \
 		| tee /dev/stderr | bin/benchjson -o BENCH_serve.json; \
 	status=$$?; kill `cat bin/serve.pid` 2>/dev/null; rm -f bin/serve.pid; exit $$status

@@ -54,6 +54,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if doc.CPU == "" {
+		// Output from tools that are not `go test` (loadgen) carries no cpu:
+		// header; stamp the host CPU so archived serving numbers stay
+		// comparable across machines.
+		doc.CPU = hostCPU("/proc/cpuinfo")
+	}
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -67,6 +73,22 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(doc.Results), *out)
+}
+
+// hostCPU reads the first "model name" line from a /proc/cpuinfo-style
+// file, returning "" when the file or field is unavailable (non-Linux).
+func hostCPU(path string) string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		name, value, ok := strings.Cut(line, ":")
+		if ok && strings.TrimSpace(name) == "model name" {
+			return strings.TrimSpace(value)
+		}
+	}
+	return ""
 }
 
 // parse reads `go test -bench` text output and collects every benchmark

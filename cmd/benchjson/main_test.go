@@ -96,6 +96,30 @@ func TestParseRejectsEmptyInput(t *testing.T) {
 	}
 }
 
+// TestHostCPU covers the /proc/cpuinfo fallback that stamps serving
+// benchmarks (loadgen output has no cpu: header).
+func TestHostCPU(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cpuinfo")
+	content := "processor\t: 0\nvendor_id\t: GenuineIntel\nmodel name\t: Intel(R) Xeon(R) CPU @ 2.10GHz\nmodel name\t: second entry ignored\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := hostCPU(path); got != "Intel(R) Xeon(R) CPU @ 2.10GHz" {
+		t.Errorf("hostCPU = %q", got)
+	}
+	if got := hostCPU(filepath.Join(dir, "missing")); got != "" {
+		t.Errorf("missing file gave %q, want empty", got)
+	}
+	empty := filepath.Join(dir, "empty")
+	if err := os.WriteFile(empty, []byte("flags\t: fpu vme\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := hostCPU(empty); got != "" {
+		t.Errorf("no model name gave %q, want empty", got)
+	}
+}
+
 func TestParseLine(t *testing.T) {
 	tests := []struct {
 		line string

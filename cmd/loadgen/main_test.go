@@ -9,7 +9,8 @@ import (
 func goodGenConfig() genConfig {
 	return genConfig{
 		url: "http://127.0.0.1:8099", mode: "closed", qps: 2000,
-		conns: 8, ids: 4096, duration: 5 * time.Second, timeout: 2 * time.Second,
+		conns: 8, ids: 4096, batch: 1,
+		duration: 5 * time.Second, timeout: 2 * time.Second,
 	}
 }
 
@@ -29,6 +30,7 @@ func TestGenConfigValidate(t *testing.T) {
 		{"open negative qps", func(c *genConfig) { c.mode = "open"; c.qps = -5 }, "-qps"},
 		{"zero conns", func(c *genConfig) { c.conns = 0 }, "-conns"},
 		{"zero ids", func(c *genConfig) { c.ids = 0 }, "-ids"},
+		{"zero batch", func(c *genConfig) { c.batch = 0 }, "-batch"},
 		{"zero duration", func(c *genConfig) { c.duration = 0 }, "-duration"},
 		{"negative timeout", func(c *genConfig) { c.timeout = -time.Second }, "-timeout"},
 	}

@@ -63,6 +63,23 @@ func internCategories(cats []string) []uint32 {
 	return out
 }
 
+// InternedCategories returns the value's categories as sorted, deduplicated
+// intern IDs — the integer sets the similarity hot path intersects, exposed
+// so approximate indexes (MinHash-LSH over categorical sets in
+// internal/labelprop) can hash exactly what the exact kernel compares.
+// Values that entered a Vector via Set return their cached ID set; values
+// that never did (hand-built in tests) intern on the fly. Missing or empty
+// values return nil. Callers must not mutate the returned slice.
+func (v Value) InternedCategories() []uint32 {
+	if v.Missing || len(v.Categories) == 0 {
+		return nil
+	}
+	if v.catIDs != nil {
+		return v.catIDs
+	}
+	return internCategories(v.Categories)
+}
+
 // JaccardIDs returns the Jaccard similarity of two sorted, deduplicated
 // intern-ID sets by allocation-free sorted merge. Two empty sets have
 // similarity 1, mirroring Jaccard.

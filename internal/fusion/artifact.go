@@ -53,17 +53,20 @@ const (
 	maxKindLen         = 64
 )
 
-// earlyWire is the gob form of EarlyModel.
+// earlyWire is the gob form of EarlyModel. Prec is the serving precision
+// the model was published for; gob leaves absent fields zero, so artifacts
+// written before the flag existed decode as Float64 (exact serving).
 type earlyWire struct {
 	VZ      *feature.Vectorizer
 	Net     *model.MLP
 	Workers int
+	Prec    model.Precision
 }
 
 // GobEncode implements gob.GobEncoder.
 func (m *EarlyModel) GobEncode() ([]byte, error) {
 	var buf bytes.Buffer
-	err := gob.NewEncoder(&buf).Encode(earlyWire{VZ: m.vz, Net: m.net, Workers: m.workers})
+	err := gob.NewEncoder(&buf).Encode(earlyWire{VZ: m.vz, Net: m.net, Workers: m.workers, Prec: m.prec})
 	return buf.Bytes(), err
 }
 
@@ -80,7 +83,10 @@ func (m *EarlyModel) GobDecode(data []byte) error {
 		return fmt.Errorf("fusion: decode early model: network input %d vs vectorizer width %d",
 			w.Net.InDim(), w.VZ.Width())
 	}
-	m.vz, m.net, m.workers = w.VZ, w.Net, w.Workers
+	if !w.Prec.Valid() {
+		return fmt.Errorf("fusion: decode early model: unknown serve precision %d", int(w.Prec))
+	}
+	m.vz, m.net, m.workers, m.prec = w.VZ, w.Net, w.Workers, w.Prec
 	return nil
 }
 

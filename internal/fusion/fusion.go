@@ -9,6 +9,7 @@ package fusion
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"crossmodal/internal/feature"
 	"crossmodal/internal/mapreduce"
@@ -120,6 +121,15 @@ type EarlyModel struct {
 	vz      *feature.Vectorizer
 	net     *model.MLP
 	workers int
+	prec    model.Precision // serving precision (artifact-stamped; default f64)
+	arena   sync.Pool       // *earlyArena: reusable batch transform buffers
+}
+
+// earlyArena is one reusable batch transform buffer: rows are views into
+// one flat backing array, grown monotonically to the largest batch seen.
+type earlyArena struct {
+	rows [][]float64
+	flat []float64
 }
 
 // TrainEarly fits the early-fusion model on all corpora.
@@ -160,6 +170,63 @@ func (m *EarlyModel) Predict(v *feature.Vector) float64 {
 // forward passes both shard across the model's workers.
 func (m *EarlyModel) PredictBatch(vs []*feature.Vector) []float64 {
 	return m.net.PredictBatch(m.vz.TransformAllWorkers(vs, m.workers))
+}
+
+// SetServePrecision selects the reduced precision PredictBatchQ serves at
+// (persisted into artifacts, see artifact.go). Float64 disables the
+// quantized path. Training and the golden pipeline never consult it — they
+// stay on the exact float64 engine regardless.
+func (m *EarlyModel) SetServePrecision(p model.Precision) error {
+	if !p.Valid() {
+		return fmt.Errorf("fusion: invalid serve precision %d", int(p))
+	}
+	m.prec = p
+	return nil
+}
+
+// ServePrecision reports the precision PredictBatchQ serves at.
+func (m *EarlyModel) ServePrecision() model.Precision { return m.prec }
+
+// PredictBatchQ scores through the configured serve precision's quantized
+// engine; at Float64 it is PredictBatch.
+func (m *EarlyModel) PredictBatchQ(vs []*feature.Vector) []float64 {
+	out := make([]float64, len(vs))
+	m.PredictBatchQInto(vs, out)
+	return out
+}
+
+// PredictBatchQInto is the serving hot path: vectors are transformed into a
+// pooled arena (rows are views of one flat array) and scored through the
+// quantized engine into out, so a steady-state batch allocates nothing. At
+// Float64 precision it falls back to the allocating exact path — that
+// configuration serves for compatibility, not speed.
+func (m *EarlyModel) PredictBatchQInto(vs []*feature.Vector, out []float64) {
+	if len(out) != len(vs) {
+		panic(fmt.Sprintf("fusion: PredictBatchQInto out length %d, want %d", len(out), len(vs)))
+	}
+	if m.prec == model.Float64 {
+		copy(out, m.PredictBatch(vs))
+		return
+	}
+	a, _ := m.arena.Get().(*earlyArena)
+	if a == nil {
+		a = &earlyArena{}
+	}
+	width := m.vz.Width()
+	if need := len(vs) * width; cap(a.flat) < need {
+		a.flat = make([]float64, need)
+	}
+	if cap(a.rows) < len(vs) {
+		a.rows = make([][]float64, len(vs))
+	}
+	a.rows = a.rows[:len(vs)]
+	for i, v := range vs {
+		row := a.flat[i*width : (i+1)*width]
+		m.vz.TransformInto(v, row)
+		a.rows[i] = row
+	}
+	m.net.PredictBatchQInto(a.rows, m.prec, out)
+	m.arena.Put(a)
 }
 
 // Hidden returns the activation feeding the model's prediction layer; the

@@ -1,0 +1,154 @@
+package fusion
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"testing"
+
+	"crossmodal/internal/model"
+)
+
+// quantEarly trains a small early-fusion model for the quantized-serving
+// tests.
+func quantEarly(t *testing.T) *EarlyModel {
+	t.Helper()
+	text, _ := corpusFor("text", 900, false, 0.1, 41)
+	img, _ := corpusFor("image", 500, true, 0.15, 42)
+	m, err := TrainEarly(ctxbg, []Corpus{text, img}, baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestEarlyQuantParity is the serving-path property test at the fusion
+// layer: float32 scores track the float64 reference within 1e-3 with
+// identical decisions, on real transformed vectors rather than raw rows.
+func TestEarlyQuantParity(t *testing.T) {
+	m := quantEarly(t)
+	test, _ := corpusFor("parity-test", 400, true, 0.15, 43)
+	ref := m.PredictBatch(test.Vectors)
+	if err := m.SetServePrecision(model.Float32); err != nil {
+		t.Fatal(err)
+	}
+	got := m.PredictBatchQ(test.Vectors)
+	for i := range ref {
+		if d := math.Abs(got[i] - ref[i]); d >= 1e-3 {
+			t.Fatalf("vector %d: |f32-f64| = %g, want < 1e-3", i, d)
+		}
+		if (got[i] >= 0.5) != (ref[i] >= 0.5) {
+			t.Fatalf("vector %d: f32 decision differs (%v vs %v)", i, got[i], ref[i])
+		}
+	}
+}
+
+// TestEarlyQuantFloat64Passthrough pins the default: with no precision set,
+// PredictBatchQ is exactly the reference path.
+func TestEarlyQuantFloat64Passthrough(t *testing.T) {
+	m := quantEarly(t)
+	if m.ServePrecision() != model.Float64 {
+		t.Fatalf("fresh model serve precision = %v, want f64", m.ServePrecision())
+	}
+	test, _ := corpusFor("pass-test", 200, true, 0.15, 44)
+	ref := m.PredictBatch(test.Vectors)
+	got := m.PredictBatchQ(test.Vectors)
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("vector %d: %v != %v", i, got[i], ref[i])
+		}
+	}
+}
+
+func TestSetServePrecisionValidation(t *testing.T) {
+	m := quantEarly(t)
+	if err := m.SetServePrecision(model.Precision(9)); err == nil {
+		t.Error("invalid precision accepted")
+	}
+	if err := m.SetServePrecision(model.Int8); err != nil {
+		t.Fatal(err)
+	}
+	if m.ServePrecision() != model.Int8 {
+		t.Fatalf("serve precision = %v, want int8", m.ServePrecision())
+	}
+}
+
+// TestEarlyQuantIntoPanics pins the out-length contract of the Into path.
+func TestEarlyQuantIntoPanics(t *testing.T) {
+	m := quantEarly(t)
+	test, _ := corpusFor("panic-test", 8, true, 0.15, 45)
+	defer func() {
+		if recover() == nil {
+			t.Error("short out slice did not panic")
+		}
+	}()
+	m.PredictBatchQInto(test.Vectors, make([]float64, len(test.Vectors)-1))
+}
+
+// TestArtifactPreservesPrecision round-trips the serve-precision stamp
+// through the artifact format and checks the quantized scores survive.
+func TestArtifactPreservesPrecision(t *testing.T) {
+	m := quantEarly(t)
+	if err := m.SetServePrecision(model.Float32); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, kind, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindEarly {
+		t.Fatalf("kind %q", kind)
+	}
+	back := got.(*EarlyModel)
+	if back.ServePrecision() != model.Float32 {
+		t.Fatalf("decoded precision = %v, want f32", back.ServePrecision())
+	}
+	test, _ := corpusFor("prec-test", 200, true, 0.15, 46)
+	want := m.PredictBatchQ(test.Vectors)
+	have := back.PredictBatchQ(test.Vectors)
+	for i := range want {
+		if want[i] != have[i] {
+			t.Fatalf("vector %d: decoded quantized score %v, original %v", i, have[i], want[i])
+		}
+	}
+}
+
+// TestArtifactRejectsUnknownPrecision corrupts the wire precision and
+// asserts decode refuses it instead of serving at a precision it cannot
+// dispatch.
+func TestArtifactRejectsUnknownPrecision(t *testing.T) {
+	m := quantEarly(t)
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(earlyWire{VZ: m.vz, Net: m.net, Workers: m.workers, Prec: model.Precision(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back EarlyModel
+	if err := back.GobDecode(buf.Bytes()); err == nil {
+		t.Error("unknown wire precision decoded without error")
+	}
+}
+
+// TestEarlyQuantArenaReuse exercises the pooled transform arena across
+// differently sized batches (grow, shrink, regrow) for score stability.
+func TestEarlyQuantArenaReuse(t *testing.T) {
+	m := quantEarly(t)
+	if err := m.SetServePrecision(model.Float32); err != nil {
+		t.Fatal(err)
+	}
+	test, _ := corpusFor("arena-test", 300, true, 0.15, 47)
+	ref := m.PredictBatchQ(test.Vectors)
+	for _, n := range []int{300, 17, 300, 1, 128} {
+		out := make([]float64, n)
+		m.PredictBatchQInto(test.Vectors[:n], out)
+		for i := 0; i < n; i++ {
+			if out[i] != ref[i] {
+				t.Fatalf("batch %d vector %d: %v != %v", n, i, out[i], ref[i])
+			}
+		}
+	}
+}

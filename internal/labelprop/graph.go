@@ -50,6 +50,15 @@ type GraphConfig struct {
 	// identical for every worker count (asserted by tests): per-vertex
 	// work depends only on the vertex index and Seed.
 	Workers int
+	// LSH enables MinHash-LSH approximate candidate generation (see
+	// LSHConfig): candidates come from signature-band collisions instead
+	// of block scans, then are re-scored with the exact kernel. The zero
+	// value is disabled.
+	LSH LSHConfig
+	// Exact forces the exact candidate paths (all-pairs or blocked) even
+	// when LSH is enabled — the escape hatch pinning today's output
+	// bit-for-bit.
+	Exact bool
 }
 
 func (c GraphConfig) withDefaults() GraphConfig {
@@ -137,10 +146,19 @@ func BuildGraph(ctx context.Context, cfg GraphConfig, vecs []*feature.Vector, sc
 	// once; the per-pair path is then allocation- and map-free.
 	kern := feature.NewSimKernel(vecs[0].Schema(), scales, cfg.Weights)
 
-	// Candidate sets per vertex: blocked by shared categorical values, or
-	// all-pairs when no blocking features are configured.
+	// Candidate sets per vertex: LSH band collisions when enabled, blocked
+	// by shared categorical values, or all-pairs when no blocking features
+	// are configured.
 	var candidatesFor func(i int, rng *rand.Rand, seen *dedupeSet) []int
-	if len(cfg.BlockFeatures) == 0 {
+	if cfg.LSH.Enable && !cfg.Exact {
+		index, err := buildLSHIndex(ctx, cfg, vecs)
+		if err != nil {
+			return nil, err
+		}
+		span.SetInt("lsh_bands", int64(index.bands))
+		span.SetInt("lsh_rows", int64(index.rows))
+		candidatesFor = index.candidatesFor(cfg.MaxCandidates)
+	} else if len(cfg.BlockFeatures) == 0 {
 		candidatesFor = func(i int, _ *rand.Rand, seen *dedupeSet) []int {
 			out := seen.buf[:0]
 			for j := 0; j < n; j++ {

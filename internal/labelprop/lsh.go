@@ -1,0 +1,256 @@
+package labelprop
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"crossmodal/internal/feature"
+	"crossmodal/internal/mapreduce"
+	"crossmodal/internal/xrand"
+)
+
+// MinHash-LSH approximate candidate generation for BuildGraph. The blocked
+// path scans every vertex sharing a blocking category, so its per-vertex
+// cost grows with block size — O(n²/blocks)-flavored on corpora whose
+// blocking features are coarse. LSH replaces the block scan with bucket
+// lookups: each vertex's categorical intern-ID sets (the exact sets
+// feature.SimKernel intersects) are MinHash-signed, the signature is cut
+// into bands, and only vertices colliding in at least one band become
+// candidates. Candidates are still re-scored with the exact kernel, so
+// edge weights are bit-identical to the exact paths — only recall over
+// which edges exist can differ.
+
+// LSHConfig configures approximate candidate generation. The zero value is
+// disabled, so existing GraphConfigs (and recorded golden outputs) are
+// untouched.
+type LSHConfig struct {
+	// Enable turns the LSH candidate path on. GraphConfig.Exact overrides
+	// it, forcing the exact all-pairs/blocked paths bit-for-bit.
+	Enable bool
+	// Threshold is the Jaccard similarity at which pairs should start
+	// colliding with high probability (default 0.4). Band/row parameters
+	// derive from it; pairs well above it collide almost surely, pairs
+	// well below almost never.
+	Threshold float64
+	// MaxHashes budgets the MinHash signature length (default 64); the
+	// derived banding uses the largest bands×rows product that fits.
+	MaxHashes int
+	// Bands and Rows override the derived banding when both are positive.
+	Bands, Rows int
+	// Features names the categorical features hashed into signatures;
+	// empty hashes every categorical feature in the schema.
+	Features []string
+}
+
+func (c LSHConfig) withDefaults() LSHConfig {
+	if c.Threshold <= 0 || c.Threshold >= 1 {
+		c.Threshold = 0.4
+	}
+	if c.MaxHashes <= 0 {
+		c.MaxHashes = 64
+	}
+	if c.Bands <= 0 || c.Rows <= 0 {
+		c.Bands, c.Rows = deriveBanding(c.Threshold, c.MaxHashes)
+	}
+	return c
+}
+
+// deriveBanding picks b bands of r rows (b·r ≤ maxHashes) from the target
+// similarity threshold. A pair with Jaccard J collides in at least one band
+// with probability 1-(1-J^r)^b, an S-curve steepest near (1/b)^(1/r); that
+// knee grows with r, so the derivation takes the largest r whose knee stays
+// at or below the target — the most junk-suppressing banding that still
+// catches pairs at the threshold with high probability.
+func deriveBanding(threshold float64, maxHashes int) (bands, rows int) {
+	bands, rows = maxHashes, 1
+	for r := 2; r <= maxHashes; r++ {
+		b := maxHashes / r
+		if b < 2 {
+			break
+		}
+		if math.Pow(1/float64(b), 1/float64(r)) <= threshold {
+			bands, rows = b, r
+		}
+	}
+	return bands, rows
+}
+
+// lshIndex holds per-vertex band keys and the bucket table mapping a band
+// key to the vertices that produced it.
+type lshIndex struct {
+	bands, rows int
+	keys        []uint64 // vertex i's band keys at [i*bands, (i+1)*bands)
+	indexed     []bool   // false: no hashed elements (vertex gets no candidates)
+	buckets     map[uint64][]int
+}
+
+// buildLSHIndex signs every vertex and fills the bucket table. Signature
+// computation is sharded across workers (disjoint writes, so the index is
+// identical for any worker count); the bucket table is built serially in
+// vertex order, keeping candidate enumeration deterministic.
+func buildLSHIndex(ctx context.Context, cfg GraphConfig, vecs []*feature.Vector) (*lshIndex, error) {
+	lcfg := cfg.LSH.withDefaults()
+	schema := vecs[0].Schema()
+	var feats []int
+	if len(lcfg.Features) == 0 {
+		for i := 0; i < schema.Len(); i++ {
+			if schema.Def(i).Kind == feature.Categorical {
+				feats = append(feats, i)
+			}
+		}
+	} else {
+		for _, name := range lcfg.Features {
+			i, ok := schema.Index(name)
+			if !ok {
+				return nil, fmt.Errorf("labelprop: LSH feature %q not in schema", name)
+			}
+			if schema.Def(i).Kind != feature.Categorical {
+				return nil, fmt.Errorf("labelprop: LSH feature %q is not categorical", name)
+			}
+			feats = append(feats, i)
+		}
+	}
+	if len(feats) == 0 {
+		return nil, fmt.Errorf("labelprop: LSH needs at least one categorical feature")
+	}
+
+	bands, rows := lcfg.Bands, lcfg.Rows
+	H := bands * rows
+	// Hash salts derive from the graph seed so signatures are reproducible
+	// per (Seed, vertex) — the same contract the candidate sampler has.
+	base := xrand.Mix(uint64(cfg.Seed) ^ 0xc2b2ae3d27d4eb4f)
+	salts := make([]uint64, H)
+	for k := range salts {
+		salts[k] = xrand.Mix(base + uint64(k+1)*0x9e3779b97f4a7c15)
+	}
+	bandSalt := make([]uint64, bands)
+	for b := range bandSalt {
+		bandSalt[b] = xrand.Mix(base ^ uint64(b+1)*0xff51afd7ed558ccd)
+	}
+	featSalt := make([]uint64, len(feats))
+	for fi, f := range feats {
+		featSalt[fi] = xrand.Mix(uint64(f+1) * 0x2545f4914f6cdd1d)
+	}
+
+	n := len(vecs)
+	idx := &lshIndex{
+		bands:   bands,
+		rows:    rows,
+		keys:    make([]uint64, n*bands),
+		indexed: make([]bool, n),
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	scratch := sync.Pool{New: func() any {
+		s := make([]uint64, H)
+		return &s
+	}}
+	_, err := mapreduce.Map(ctx, mapreduce.Config{Workers: cfg.Workers}, ids, func(i int) (struct{}, error) {
+		sigp := scratch.Get().(*[]uint64)
+		defer scratch.Put(sigp)
+		sig := *sigp
+		for k := range sig {
+			sig[k] = math.MaxUint64
+		}
+		any := false
+		for fi, f := range feats {
+			for _, id := range vecs[i].At(f).InternedCategories() {
+				any = true
+				elem := xrand.Mix(featSalt[fi] ^ (uint64(id) + 0x9e3779b97f4a7c15))
+				for k, salt := range salts {
+					if h := xrand.Mix(elem ^ salt); h < sig[k] {
+						sig[k] = h
+					}
+				}
+			}
+		}
+		if !any {
+			// No categorical content to hash: the vertex gets no candidates,
+			// matching the blocked path's treatment of unblockable vertices.
+			return struct{}{}, nil
+		}
+		idx.indexed[i] = true
+		for b := 0; b < bands; b++ {
+			key := bandSalt[b]
+			for r := 0; r < rows; r++ {
+				key = xrand.Mix(key ^ sig[b*rows+r])
+			}
+			idx.keys[i*bands+b] = key
+		}
+		return struct{}{}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	idx.buckets = make(map[uint64][]int, n)
+	for i := 0; i < n; i++ {
+		if !idx.indexed[i] {
+			continue
+		}
+		for b := 0; b < bands; b++ {
+			key := idx.keys[i*bands+b]
+			idx.buckets[key] = append(idx.buckets[key], i)
+		}
+	}
+	return idx, nil
+}
+
+// candidatesFor returns the LSH candidate generator: the union of the
+// vertex's band buckets, deduplicated through the shared epoch-stamped set
+// and capped with the same deterministic per-vertex sampling the blocked
+// path uses — so worker invariance and seed determinism carry over
+// unchanged.
+func (x *lshIndex) candidatesFor(maxCandidates int) func(i int, rng *rand.Rand, seen *dedupeSet) []int {
+	return func(i int, rng *rand.Rand, seen *dedupeSet) []int {
+		seen.reset()
+		if !x.indexed[i] {
+			return seen.buf
+		}
+		for b := 0; b < x.bands; b++ {
+			for _, j := range x.buckets[x.keys[i*x.bands+b]] {
+				if j != i {
+					seen.add(j)
+				}
+			}
+		}
+		out := seen.buf
+		if len(out) > maxCandidates {
+			rng.Shuffle(len(out), func(a, b int) { out[a], out[b] = out[b], out[a] })
+			out = out[:maxCandidates]
+			sort.Ints(out)
+		}
+		return out
+	}
+}
+
+// Recall reports the fraction of ref's edges also present in g — the
+// quality metric for approximate graph construction (edge weights cannot
+// differ, only membership). Both graphs must cover the same vertices;
+// adjacency lists are sorted by vertex (symmetrize's postcondition), so
+// the comparison is a linear merge. An empty reference has recall 1.
+func Recall(ref, g *Graph) float64 {
+	total, hit := 0, 0
+	for i := range ref.adj {
+		gs := g.adj[i]
+		j := 0
+		for _, e := range ref.adj[i] {
+			total++
+			for j < len(gs) && gs[j].To < e.To {
+				j++
+			}
+			if j < len(gs) && gs[j].To == e.To {
+				hit++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(hit) / float64(total)
+}

@@ -1,0 +1,447 @@
+package labelprop
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"crossmodal/internal/feature"
+)
+
+var sweepSchema = feature.MustSchema(
+	feature.Def{Name: "topic", Kind: feature.Categorical, Set: "C", Servable: true},
+	feature.Def{Name: "tags", Kind: feature.Categorical, Set: "C", Servable: true},
+	feature.Def{Name: "score", Kind: feature.Numeric, Set: "D", Servable: true},
+	feature.Def{Name: "emb", Kind: feature.Embedding, Set: "I", Servable: true, Dim: 8},
+)
+
+// sweepVecs builds a corpus shaped like the LSH motivation: coarse topics
+// (8 values, so blocking scans n/8 vertices per query) but fine-grained
+// similarity structure in ~24-member tag subclusters. Members of a
+// subcluster share 4–6 of 6 base tags plus the topic (pairwise Jaccard
+// ≥ 0.55 over hashed categorical elements); cross-subcluster overlap is
+// rare (large tag vocabulary), so band collisions stay near subcluster
+// size while blocks grow linearly with n.
+func sweepVecs(n int, seed int64) []*feature.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	const subSize = 24
+	nSub := (n + subSize - 1) / subSize
+	baseTags := make([][]string, nSub)
+	centers := make([][]float64, nSub)
+	scores := make([]float64, nSub)
+	for s := range baseTags {
+		tags := make([]string, 6)
+		for t := range tags {
+			tags[t] = "g" + strconv.Itoa(rng.Intn(4096))
+		}
+		baseTags[s] = tags
+		c := make([]float64, 8)
+		for d := range c {
+			c[d] = rng.NormFloat64()
+		}
+		centers[s] = c
+		scores[s] = rng.NormFloat64() * 10
+	}
+	vecs := make([]*feature.Vector, n)
+	for i := range vecs {
+		s := i / subSize
+		v := feature.NewVector(sweepSchema)
+		v.MustSet("topic", feature.CategoricalValue("t"+strconv.Itoa(s%8)))
+		drop := rng.Intn(6)
+		tags := make([]string, 0, 6)
+		for t, tag := range baseTags[s] {
+			if t != drop {
+				tags = append(tags, tag)
+			}
+		}
+		tags = append(tags, "x"+strconv.Itoa(rng.Intn(1<<30)))
+		v.MustSet("tags", feature.CategoricalValue(tags...))
+		emb := make([]float64, 8)
+		for d := range emb {
+			emb[d] = centers[s][d] + rng.NormFloat64()*0.05
+		}
+		v.MustSet("emb", feature.EmbeddingValue(emb))
+		v.MustSet("score", feature.NumericValue(scores[s]+rng.NormFloat64()*0.1))
+		vecs[i] = v
+	}
+	return vecs
+}
+
+func TestDeriveBanding(t *testing.T) {
+	cases := []struct {
+		threshold   string
+		maxHashes   int
+		bands, rows int
+	}{
+		{"0.05", 64, 64, 1}, // even r=2's knee (0.177) overshoots: stay at r=1
+		{"0.2", 64, 32, 2},  // knee 0.177
+		{"0.4", 64, 21, 3},  // knee 0.362
+		{"0.55", 64, 16, 4}, // knee 0.5; r=5's knee 0.609 overshoots
+		{"0.4", 32, 10, 3},  // knee (1/10)^(1/3) = 0.464 > 0.4 → r=2? no: 0.25 ≤ 0.4
+		{"0.9", 8, 2, 4},    // tiny budget: b must stay ≥ 2
+	}
+	for _, c := range cases {
+		th, _ := strconv.ParseFloat(c.threshold, 64)
+		b, r := deriveBanding(th, c.maxHashes)
+		if c.threshold == "0.4" && c.maxHashes == 32 {
+			// (1/16)^(1/2)=0.25 ≤ 0.4, (1/10)^(1/3)=0.464 > 0.4 → (16,2).
+			if b != 16 || r != 2 {
+				t.Errorf("deriveBanding(0.4, 32) = (%d,%d), want (16,2)", b, r)
+			}
+			continue
+		}
+		if b != c.bands || r != c.rows {
+			t.Errorf("deriveBanding(%s, %d) = (%d,%d), want (%d,%d)",
+				c.threshold, c.maxHashes, b, r, c.bands, c.rows)
+		}
+	}
+}
+
+// TestLSHRecallFloor is the quality gate the ISSUE pins: at the default
+// threshold, LSH must recover at least 95% of the edges the exact blocked
+// path finds (blocking on the coarse topic, candidate cap lifted so the
+// reference is sampling-free), and every edge both graphs share must carry
+// the identical weight — LSH changes candidate generation, never scoring.
+func TestLSHRecallFloor(t *testing.T) {
+	const n = 960
+	vecs := sweepVecs(n, 41)
+	scales := feature.FitScales(sweepSchema, vecs)
+	exact := GraphConfig{
+		K: 10, Seed: 5, BlockFeatures: []string{"topic"}, MaxCandidates: n,
+	}
+	ref, err := BuildGraph(context.Background(), exact, vecs, scales)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := exact
+	approx.BlockFeatures = nil
+	approx.LSH = LSHConfig{Enable: true}
+	g, err := BuildGraph(context.Background(), approx, vecs, scales)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Recall(ref, g); r < 0.95 {
+		t.Errorf("LSH recall = %.4f, want >= 0.95", r)
+	}
+	for i := 0; i < n; i++ {
+		want := make(map[int]float64, len(ref.Neighbors(i)))
+		for _, e := range ref.Neighbors(i) {
+			want[e.To] = e.Weight
+		}
+		for _, e := range g.Neighbors(i) {
+			if w, ok := want[e.To]; ok && w != e.Weight {
+				t.Fatalf("edge %d-%d: LSH weight %v vs exact %v", i, e.To, e.Weight, w)
+			}
+		}
+	}
+}
+
+// TestLSHExactKnob pins the escape hatch: Exact: true must make LSH-enabled
+// configs bit-identical to the legacy paths.
+func TestLSHExactKnob(t *testing.T) {
+	vecs, _ := clusterVecs(200, 3)
+	scales := feature.FitScales(schema, vecs)
+	for _, legacy := range []GraphConfig{
+		{K: 5, Seed: 9},
+		{K: 5, Seed: 9, BlockFeatures: []string{"topic"}, MaxCandidates: 40},
+	} {
+		ref, err := BuildGraph(context.Background(), legacy, vecs, scales)
+		if err != nil {
+			t.Fatal(err)
+		}
+		knobbed := legacy
+		knobbed.LSH = LSHConfig{Enable: true}
+		knobbed.Exact = true
+		g, err := BuildGraph(context.Background(), knobbed, vecs, scales)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := graphEqual(ref, g); err != nil {
+			t.Errorf("Exact knob not bit-identical: %v", err)
+		}
+	}
+}
+
+// TestLSHWorkerInvariance extends the worker-invariance contract to the LSH
+// path: signatures are per-vertex functions of (Seed, vertex), the bucket
+// table is built serially, and sampling reuses the per-vertex RNG — so the
+// graph may not depend on scheduling.
+func TestLSHWorkerInvariance(t *testing.T) {
+	vecs := sweepVecs(300, 17)
+	scales := feature.FitScales(sweepSchema, vecs)
+	cfg := GraphConfig{K: 6, Seed: 3, MaxCandidates: 30, LSH: LSHConfig{Enable: true}}
+	base := cfg
+	base.Workers = 1
+	ref, err := BuildGraph(context.Background(), base, vecs, scales)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		c := cfg
+		c.Workers = workers
+		g, err := BuildGraph(context.Background(), c, vecs, scales)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := graphEqual(ref, g); err != nil {
+			t.Errorf("Workers=%d differs from Workers=1: %v", workers, err)
+		}
+	}
+	// Same seed reproduces; a different seed re-salts the hash family and
+	// resamples candidates.
+	again, err := BuildGraph(context.Background(), base, vecs, scales)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphEqual(ref, again); err != nil {
+		t.Errorf("same seed not reproducible: %v", err)
+	}
+	reseeded := base
+	reseeded.Seed = 4
+	other, err := BuildGraph(context.Background(), reseeded, vecs, scales)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graphEqual(ref, other) == nil {
+		t.Error("changing the seed left the LSH graph identical")
+	}
+}
+
+// TestLSHSparseCategoricals covers vertices with nothing to hash: they are
+// left out of the index and get no edges, without disturbing the rest.
+func TestLSHSparseCategoricals(t *testing.T) {
+	vecs, _ := clusterVecs(60, 7)
+	// Strip the only categorical feature from the last 5 vertices.
+	for i := 55; i < 60; i++ {
+		v := feature.NewVector(schema)
+		v.MustSet("emb", vecs[i].Get("emb"))
+		v.MustSet("score", vecs[i].Get("score"))
+		vecs[i] = v
+	}
+	scales := feature.FitScales(schema, vecs)
+	g, err := BuildGraph(context.Background(), GraphConfig{
+		K: 5, Seed: 1, LSH: LSHConfig{Enable: true},
+	}, vecs, scales)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 55; i < 60; i++ {
+		if len(g.Neighbors(i)) != 0 {
+			t.Errorf("unhashable vertex %d has %d edges", i, len(g.Neighbors(i)))
+		}
+	}
+	if g.NumEdges() == 0 {
+		t.Error("hashable vertices built no edges")
+	}
+}
+
+// TestLSHConfigErrors covers the misconfiguration paths.
+func TestLSHConfigErrors(t *testing.T) {
+	vecs, _ := clusterVecs(20, 7)
+	scales := feature.FitScales(schema, vecs)
+	for _, lsh := range []LSHConfig{
+		{Enable: true, Features: []string{"nosuch"}},
+		{Enable: true, Features: []string{"score"}}, // numeric, not hashable
+	} {
+		_, err := BuildGraph(context.Background(), GraphConfig{K: 3, LSH: lsh}, vecs, scales)
+		if err == nil {
+			t.Errorf("LSH %+v: expected error", lsh)
+		}
+	}
+	embOnly := feature.MustSchema(
+		feature.Def{Name: "emb", Kind: feature.Embedding, Set: "I", Servable: true, Dim: 2},
+	)
+	v := feature.NewVector(embOnly)
+	v.MustSet("emb", feature.EmbeddingValue([]float64{1, 0}))
+	_, err := BuildGraph(context.Background(), GraphConfig{
+		K: 3, LSH: LSHConfig{Enable: true},
+	}, []*feature.Vector{v, v}, nil)
+	if err == nil {
+		t.Error("schema without categorical features: expected error")
+	}
+}
+
+// TestRecallMetric pins the Recall helper on hand-built graphs.
+func TestRecallMetric(t *testing.T) {
+	ref := &Graph{adj: [][]Edge{
+		{{To: 1, Weight: 1}, {To: 2, Weight: 0.5}},
+		{{To: 0, Weight: 1}},
+		{{To: 0, Weight: 0.5}},
+	}}
+	if r := Recall(ref, ref); r != 1 {
+		t.Errorf("self recall = %v", r)
+	}
+	half := &Graph{adj: [][]Edge{
+		{{To: 1, Weight: 1}},
+		{{To: 0, Weight: 1}},
+		{},
+	}}
+	if r := Recall(ref, half); r != 0.5 {
+		t.Errorf("recall = %v, want 0.5", r)
+	}
+	empty := &Graph{adj: [][]Edge{{}, {}, {}}}
+	if r := Recall(empty, ref); r != 1 {
+		t.Errorf("empty reference recall = %v, want 1", r)
+	}
+}
+
+// TestSymmetrizeEdgeCases covers symmetrize directly: empty graph, single
+// vertex, one-sided selections mirrored, and double selections collapsing
+// to one edge.
+func TestSymmetrizeEdgeCases(t *testing.T) {
+	if adj := symmetrize([][]Edge{}); len(adj) != 0 {
+		t.Errorf("empty graph symmetrized to %d vertices", len(adj))
+	}
+	if adj := symmetrize([][]Edge{{}}); len(adj) != 1 || len(adj[0]) != 0 {
+		t.Errorf("single vertex symmetrized to %+v", adj)
+	}
+	// 0 selected 1; 1 selected nothing; both sides must end with the edge.
+	adj := symmetrize([][]Edge{{{To: 1, Weight: 0.7}}, {}})
+	if len(adj[0]) != 1 || adj[0][0] != (Edge{To: 1, Weight: 0.7}) {
+		t.Errorf("vertex 0: %+v", adj[0])
+	}
+	if len(adj[1]) != 1 || adj[1][0] != (Edge{To: 0, Weight: 0.7}) {
+		t.Errorf("vertex 1: %+v", adj[1])
+	}
+	// Mutual selection (equal weights, similarity is symmetric) collapses.
+	adj = symmetrize([][]Edge{
+		{{To: 1, Weight: 0.9}},
+		{{To: 0, Weight: 0.9}},
+	})
+	if len(adj[0]) != 1 || len(adj[1]) != 1 {
+		t.Errorf("mutual selection not collapsed: %+v", adj)
+	}
+	// Output must be sorted by To for every vertex.
+	adj = symmetrize([][]Edge{
+		{{To: 3, Weight: 0.5}, {To: 1, Weight: 0.4}},
+		{},
+		{{To: 0, Weight: 0.3}},
+		{},
+	})
+	for i, es := range adj {
+		for j := 1; j < len(es); j++ {
+			if es[j-1].To >= es[j].To {
+				t.Errorf("vertex %d adjacency not sorted: %+v", i, es)
+			}
+		}
+	}
+}
+
+// TestDedupeSetFloodAndWraparound covers the epoch-stamped set directly: a
+// flood of duplicate adds keeps one copy, and the epoch wrapping through
+// int32 overflow clears stamps instead of resurrecting stale membership.
+func TestDedupeSetFloodAndWraparound(t *testing.T) {
+	s := &dedupeSet{stamp: make([]int32, 4)}
+	s.reset()
+	for i := 0; i < 1000; i++ {
+		s.add(2)
+	}
+	if len(s.buf) != 1 || s.buf[0] != 2 {
+		t.Fatalf("duplicate flood produced buf %v", s.buf)
+	}
+	s.reset()
+	if len(s.buf) != 0 {
+		t.Fatal("reset did not clear the buffer")
+	}
+	if !s.add(2) {
+		t.Fatal("element from the previous epoch still marked present")
+	}
+
+	// Drive the epoch to the wraparound: stamp an element at the last
+	// positive epoch, overflow into negative epochs, and ensure no reset
+	// between now and the epoch's reuse ever sees the stale stamp.
+	s = &dedupeSet{stamp: make([]int32, 2), epoch: (1 << 31) - 2}
+	s.reset() // epoch = MaxInt32
+	s.add(1)
+	stale := s.stamp[1]
+	s.reset() // epoch overflows to MinInt32
+	if s.epoch == stale {
+		t.Fatalf("epoch %d collides with stale stamp immediately after overflow", s.epoch)
+	}
+	if !s.add(1) {
+		t.Fatal("post-overflow epoch rejects a fresh element")
+	}
+	// The wrap to zero must clear stamps and restart at 1, so the stale
+	// MaxInt32 stamp can never match a future epoch.
+	s = &dedupeSet{stamp: []int32{0, (1 << 31) - 1}, epoch: -1}
+	s.reset()
+	if s.epoch != 1 {
+		t.Fatalf("epoch after zero-wrap = %d, want 1", s.epoch)
+	}
+	if s.stamp[1] != 0 {
+		t.Fatalf("zero-wrap did not clear stamps: %v", s.stamp)
+	}
+	if !s.add(1) {
+		t.Fatal("cleared element still marked present")
+	}
+}
+
+// sweepRefs caches the sampling-free exact reference graph per corpus size
+// so recall is computed once per size, not once per bench iteration.
+var sweepRefs = map[int]*Graph{}
+
+func sweepRecallRef(b *testing.B, n int, vecs []*feature.Vector, scales feature.Scales) *Graph {
+	b.Helper()
+	if g, ok := sweepRefs[n]; ok {
+		return g
+	}
+	ref, err := BuildGraph(context.Background(), GraphConfig{
+		K: 10, Seed: 7, BlockFeatures: []string{"topic"}, MaxCandidates: n,
+	}, vecs, scales)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sweepRefs[n] = ref
+	return ref
+}
+
+// BenchmarkBuildGraphSweep sizes BuildGraph across 10³–10⁵ vertices for the
+// three candidate paths. Blocked and LSH run their production configs
+// (candidate cap 300); the reported "recall" metric compares each against
+// the sampling-free exact blocked reference (computed for n ≤ 10⁴, where
+// the reference is affordable). The LSH column also runs n = 10⁵, where
+// block scans are the dominant blocked-path cost and bucket lookups keep
+// per-vertex work near subcluster size.
+func BenchmarkBuildGraphSweep(b *testing.B) {
+	for _, n := range []int{1000, 10000, 50000, 100000} {
+		vecs := sweepVecs(n, 21)
+		scales := feature.FitScales(sweepSchema, vecs)
+		for _, mode := range []string{"allpairs", "blocked", "lsh"} {
+			if mode == "allpairs" && n > 1000 {
+				continue // O(n²): unaffordable beyond the smallest size
+			}
+			if mode == "blocked" && n > 50000 {
+				continue // block scans already dominate at 5·10⁴
+			}
+			cfg := GraphConfig{K: 10, Seed: 7, Workers: 1}
+			switch mode {
+			case "blocked":
+				cfg.BlockFeatures = []string{"topic"}
+			case "lsh":
+				cfg.LSH = LSHConfig{Enable: true}
+			}
+			b.Run(fmt.Sprintf("%s/n=%d", mode, n), func(b *testing.B) {
+				var ref *Graph
+				if mode != "allpairs" && n <= 10000 {
+					ref = sweepRecallRef(b, n, vecs, scales)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				var g *Graph
+				for i := 0; i < b.N; i++ {
+					var err error
+					if g, err = BuildGraph(context.Background(), cfg, vecs, scales); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if ref != nil {
+					// After ResetTimer: it deletes user-reported metrics.
+					b.ReportMetric(Recall(ref, g), "recall")
+				}
+			})
+		}
+	}
+}

@@ -86,6 +86,7 @@ type MLP struct {
 	wOff    []int       // offset of weights[l] within params
 	bOff    []int       // offset of biases[l] within params
 	workers int         // preferred batch-op worker count (0 = GOMAXPROCS)
+	quant   *quantState // lazily built reduced-precision engines (quant.go)
 }
 
 // New initializes an untrained network for inDim inputs.
@@ -99,7 +100,7 @@ func New(inDim int, hidden []int, seed int64) (*MLP, error) {
 		}
 	}
 	rng := rand.New(rand.NewSource(seed))
-	m := &MLP{inDim: inDim}
+	m := &MLP{inDim: inDim, quant: newQuantState()}
 	m.sizes = append(append([]int{inDim}, hidden...), 1)
 	total := 0
 	for l := 0; l+1 < len(m.sizes); l++ {

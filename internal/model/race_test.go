@@ -1,0 +1,7 @@
+//go:build race
+
+package model
+
+// raceEnabled gates allocation-count assertions: the race runtime
+// instruments sync.Pool with extra allocations absent in production builds.
+const raceEnabled = true

@@ -14,11 +14,18 @@ import (
 // The micro-batcher is the serving-side twin of the training engine's batch
 // parallelism: individual requests from many HTTP handler goroutines
 // coalesce into batches that flow through featurestore.Store.Featurize and
-// Predictor.PredictBatch together, amortizing the parallel batch machinery
-// (PR 1) across concurrent callers. Admission is a bounded queue — when the
-// server falls behind, excess load is shed immediately with a retryable
-// error instead of building an unbounded backlog (the classic
+// the predictor's batch path together, amortizing the parallel batch
+// machinery (PR 1) across concurrent callers. Admission is a bounded queue —
+// when the server falls behind, excess load is shed immediately with a
+// retryable error instead of building an unbounded backlog (the classic
 // load-shedding discipline of production serving stacks).
+//
+// The hot path is arena-style: request and batch structs cycle through
+// sync.Pools and the score buffer belongs to the batch, so a steady-state
+// request allocates nothing in the batcher. Dispatch is adaptive — a batch
+// hands off immediately when an executor is idle (latency-bound traffic
+// never pays the coalescing window) and only waits out MaxWait when all
+// executors are busy (throughput-bound traffic batches up).
 
 // Shedding and lifecycle errors. The HTTP layer maps these to status codes
 // (429 for shed load, 503 before a model is loaded).
@@ -39,7 +46,8 @@ type BatcherConfig struct {
 	// scores (default 64).
 	MaxBatchSize int
 	// MaxWait bounds how long the first request of a batch waits for
-	// company before the batch executes anyway (default 2ms).
+	// company when every executor is busy; with an idle executor the batch
+	// dispatches immediately (default 2ms).
 	MaxWait time.Duration
 	// QueueDepth bounds the admission queue; requests beyond it are shed
 	// with ErrQueueFull (default 1024).
@@ -65,7 +73,11 @@ func (c BatcherConfig) withDefaults() BatcherConfig {
 	return c
 }
 
-// request is one enqueued point waiting to be scored.
+// request is one enqueued point waiting to be scored. Requests cycle
+// through a pool: a request is returned only from the paths that prove its
+// done channel is empty (refused admission, or its response was received).
+// A request abandoned to ctx cancellation is left to the garbage collector,
+// because a late response may still land in its channel.
 type request struct {
 	pt       *synth.Point
 	deadline time.Time // zero = no deadline
@@ -79,24 +91,36 @@ type response struct {
 	err   error
 }
 
-// ExecFunc scores one batch of points and returns their scores plus the
-// sequence number of the model that produced them. It must be safe for
-// concurrent use when BatcherConfig.Executors > 1. ctx carries the batch's
-// scoring budget — the latest deadline among the batch's live requests — so
-// featurization work under it is abandoned once no request can still use
-// the result.
-type ExecFunc func(ctx context.Context, pts []*synth.Point) ([]float64, uint64, error)
+// batch is one dispatch unit: the collected requests plus the reusable
+// point and score buffers their execution fills. Batches cycle through a
+// pool; the executor owns a batch from dispatch until it returns it.
+type batch struct {
+	reqs   []*request
+	pts    []*synth.Point
+	scores []float64
+}
+
+// ExecFunc scores one batch of points into scores (len(scores) ==
+// len(pts)), returning the sequence number of the model that produced
+// them. The scores buffer is owned by the caller and reused across batches.
+// It must be safe for concurrent use when BatcherConfig.Executors > 1. ctx
+// carries the batch's scoring budget — the latest deadline among the
+// batch's live requests — so featurization work under it is abandoned once
+// no request can still use the result.
+type ExecFunc func(ctx context.Context, pts []*synth.Point, scores []float64) (uint64, error)
 
 // Batcher coalesces single-point requests into batches. Create with
 // NewBatcher, feed with Submit, stop with Close.
 type Batcher struct {
-	cfg   BatcherConfig
-	exec  ExecFunc
-	met   *Metrics
-	queue chan *request
-	execQ chan []*request
-	stop  chan struct{}
-	wg    sync.WaitGroup
+	cfg       BatcherConfig
+	exec      ExecFunc
+	met       *Metrics
+	queue     chan *request
+	execQ     chan *batch
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	reqPool   sync.Pool
+	batchPool sync.Pool
 }
 
 // NewBatcher starts the dispatcher and executor goroutines.
@@ -107,7 +131,7 @@ func NewBatcher(cfg BatcherConfig, exec ExecFunc, met *Metrics) *Batcher {
 		exec:  exec,
 		met:   met,
 		queue: make(chan *request, cfg.QueueDepth),
-		execQ: make(chan []*request),
+		execQ: make(chan *batch),
 		stop:  make(chan struct{}),
 	}
 	b.wg.Add(1)
@@ -122,6 +146,30 @@ func NewBatcher(cfg BatcherConfig, exec ExecFunc, met *Metrics) *Batcher {
 // QueueDepth reports how many admitted requests are waiting to be batched.
 func (b *Batcher) QueueDepth() int { return len(b.queue) }
 
+func (b *Batcher) getBatch() *batch {
+	if bt, ok := b.batchPool.Get().(*batch); ok {
+		return bt
+	}
+	return &batch{
+		reqs:   make([]*request, 0, b.cfg.MaxBatchSize),
+		pts:    make([]*synth.Point, 0, b.cfg.MaxBatchSize),
+		scores: make([]float64, b.cfg.MaxBatchSize),
+	}
+}
+
+// putBatch clears the batch's pointers (so a pooled batch does not pin
+// requests or points past its lifetime) and returns it to the pool.
+func (b *Batcher) putBatch(bt *batch) {
+	for i := range bt.reqs {
+		bt.reqs[i] = nil
+	}
+	for i := range bt.pts {
+		bt.pts[i] = nil
+	}
+	bt.reqs, bt.pts = bt.reqs[:0], bt.pts[:0]
+	b.batchPool.Put(bt)
+}
+
 // Submit admits one point and blocks until it is scored, shed, or ctx ends.
 // deadline zero means no deadline beyond ctx.
 func (b *Batcher) Submit(ctx context.Context, pt *synth.Point, deadline time.Time) (float64, uint64, error) {
@@ -130,10 +178,16 @@ func (b *Batcher) Submit(ctx context.Context, pt *synth.Point, deadline time.Tim
 		return 0, 0, ErrStopped
 	default:
 	}
-	req := &request{pt: pt, deadline: deadline, done: make(chan response, 1)}
+	req, ok := b.reqPool.Get().(*request)
+	if !ok {
+		req = &request{done: make(chan response, 1)}
+	}
+	req.pt, req.deadline = pt, deadline
 	select {
 	case b.queue <- req:
 	default:
+		req.pt = nil
+		b.reqPool.Put(req) // never admitted: its channel is provably empty
 		if b.met != nil {
 			b.met.ShedQueue.Add(1)
 			trace.Count(nil, "serve.shed_queue", 1)
@@ -142,10 +196,13 @@ func (b *Batcher) Submit(ctx context.Context, pt *synth.Point, deadline time.Tim
 	}
 	select {
 	case resp := <-req.done:
+		req.pt = nil
+		b.reqPool.Put(req) // answered: the buffered channel is empty again
 		return resp.score, resp.seq, resp.err
 	case <-ctx.Done():
 		// The request is still in the pipeline; its eventual response is
-		// dropped (done is buffered). The caller has already gone away.
+		// dropped (done is buffered). The caller has already gone away. Do
+		// NOT pool the request — the late response occupies its channel.
 		return 0, 0, ctx.Err()
 	}
 }
@@ -166,8 +223,11 @@ func (b *Batcher) Close() {
 	}
 }
 
-// dispatch collects requests into batches: a batch opens on its first
-// request and closes when it reaches MaxBatchSize or MaxWait elapses.
+// dispatch collects requests into batches. A batch opens on its first
+// request, greedily absorbs everything already queued, and then hands off
+// immediately if an executor is free — the common idle-server case pays no
+// wait. Only when all executors are busy does the batch hold its MaxWait
+// window (more requests can only help a batch that must wait anyway).
 func (b *Batcher) dispatch() {
 	defer b.wg.Done()
 	defer close(b.execQ)
@@ -175,6 +235,7 @@ func (b *Batcher) dispatch() {
 	if !timer.Stop() {
 		<-timer.C
 	}
+outer:
 	for {
 		var first *request
 		select {
@@ -182,34 +243,57 @@ func (b *Batcher) dispatch() {
 		case <-b.stop:
 			return
 		}
-		batch := make([]*request, 1, b.cfg.MaxBatchSize)
-		batch[0] = first
-		timer.Reset(b.cfg.MaxWait)
-	collect:
-		for len(batch) < b.cfg.MaxBatchSize {
+		bt := b.getBatch()
+		bt.reqs = append(bt.reqs, first)
+	drain:
+		for len(bt.reqs) < b.cfg.MaxBatchSize {
 			select {
 			case req := <-b.queue:
-				batch = append(batch, req)
-			case <-timer.C:
-				break collect
-			case <-b.stop:
-				// Shutting down: run what we have, then exit.
-				break collect
+				bt.reqs = append(bt.reqs, req)
+			default:
+				break drain
 			}
 		}
-		if !timer.Stop() {
+		if len(bt.reqs) < b.cfg.MaxBatchSize {
 			select {
-			case <-timer.C:
-			default:
+			case b.execQ <- bt: // an executor was idle: dispatch now
+				continue
+			case <-b.stop:
+				b.failBatch(bt)
+				return
+			default: // all executors busy: collect while we wait
+			}
+			timer.Reset(b.cfg.MaxWait)
+		collect:
+			for len(bt.reqs) < b.cfg.MaxBatchSize {
+				select {
+				case req := <-b.queue:
+					bt.reqs = append(bt.reqs, req)
+				case b.execQ <- bt:
+					// An executor freed up mid-window; it owns bt now.
+					if !timer.Stop() {
+						<-timer.C
+					}
+					continue outer
+				case <-timer.C:
+					break collect
+				case <-b.stop:
+					// Shutting down: run what we have, then exit.
+					break collect
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
 			}
 		}
 		select {
-		case b.execQ <- batch:
+		case b.execQ <- bt:
 		case <-b.stop:
 			// Executors may already be gone; fail the batch directly.
-			for _, req := range batch {
-				req.done <- response{err: ErrStopped}
-			}
+			b.failBatch(bt)
 			return
 		}
 		select {
@@ -220,22 +304,29 @@ func (b *Batcher) dispatch() {
 	}
 }
 
+// failBatch answers every request in bt with ErrStopped.
+func (b *Batcher) failBatch(bt *batch) {
+	for _, req := range bt.reqs {
+		req.done <- response{err: ErrStopped}
+	}
+}
+
 // executor runs batches: expired requests are shed, the rest are scored in
 // one ExecFunc call and answered individually.
 func (b *Batcher) executor() {
 	defer b.wg.Done()
-	for batch := range b.execQ {
-		b.run(batch)
+	for bt := range b.execQ {
+		b.run(bt)
 	}
 }
 
-// run executes one batch.
-func (b *Batcher) run(batch []*request) {
+// run executes one batch and returns it to the pool.
+func (b *Batcher) run(bt *batch) {
 	sctx, span := trace.Start(context.Background(), "serve.batch")
 	defer span.End()
 	now := time.Now()
-	live := batch[:0]
-	for _, req := range batch {
+	live := bt.reqs[:0]
+	for _, req := range bt.reqs {
 		if !req.deadline.IsZero() && now.After(req.deadline) {
 			if b.met != nil {
 				b.met.ShedDeadline.Add(1)
@@ -247,15 +338,20 @@ func (b *Batcher) run(batch []*request) {
 		live = append(live, req)
 	}
 	if len(live) == 0 {
+		b.putBatch(bt)
 		return
 	}
 	if b.met != nil {
 		b.met.BatchSize.Observe(float64(len(live)))
 	}
-	pts := make([]*synth.Point, len(live))
-	for i, req := range live {
-		pts[i] = req.pt
+	bt.pts = bt.pts[:0]
+	for _, req := range live {
+		bt.pts = append(bt.pts, req.pt)
 	}
+	if cap(bt.scores) < len(live) {
+		bt.scores = make([]float64, len(live))
+	}
+	scores := bt.scores[:len(live)]
 	span.Add("items", int64(len(live)))
 	// The batch runs under the latest deadline any live request still has;
 	// requests without deadlines leave the batch unbounded.
@@ -276,14 +372,16 @@ func (b *Batcher) run(batch []*request) {
 		ctx, cancel = context.WithDeadline(ctx, latest)
 		defer cancel()
 	}
-	scores, seq, err := b.exec(ctx, pts)
+	seq, err := b.exec(ctx, bt.pts, scores)
 	if err != nil {
 		for _, req := range live {
 			req.done <- response{err: err}
 		}
+		b.putBatch(bt)
 		return
 	}
 	for i, req := range live {
 		req.done <- response{score: scores[i], seq: seq}
 	}
+	b.putBatch(bt)
 }

@@ -19,18 +19,17 @@ type countingExec struct {
 	block   chan struct{} // when non-nil, exec waits on it
 }
 
-func (e *countingExec) exec(_ context.Context, pts []*synth.Point) ([]float64, uint64, error) {
+func (e *countingExec) exec(_ context.Context, pts []*synth.Point, scores []float64) (uint64, error) {
 	if e.block != nil {
 		<-e.block
 	}
 	e.mu.Lock()
 	e.batches = append(e.batches, len(pts))
 	e.mu.Unlock()
-	out := make([]float64, len(pts))
 	for i, p := range pts {
-		out[i] = float64(p.ID)
+		scores[i] = float64(p.ID)
 	}
-	return out, 1, nil
+	return 1, nil
 }
 
 func (e *countingExec) batchSizes() []int {

@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled gates allocation-count assertions: the race runtime
+// instruments sync.Pool and channel ops with extra allocations that are not
+// present in production builds.
+const raceEnabled = true

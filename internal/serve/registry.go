@@ -9,6 +9,7 @@ import (
 
 	"crossmodal/internal/feature"
 	"crossmodal/internal/fusion"
+	"crossmodal/internal/model"
 )
 
 // The registry owns the serving model. The current model lives behind an
@@ -18,6 +19,14 @@ import (
 // a hot-swap never drops or corrupts a request (paper §2.4's "deploy the
 // fused model behind serving infra" without downtime).
 
+// quantPredictor is the optional serving surface a predictor exposes when
+// it can score through a reduced-precision engine (fusion.EarlyModel).
+type quantPredictor interface {
+	fusion.Predictor
+	ServePrecision() model.Precision
+	PredictBatchQInto(vs []*feature.Vector, out []float64)
+}
+
 // Loaded is one installed model generation. Immutable once published.
 type Loaded struct {
 	Model    fusion.Predictor
@@ -25,6 +34,12 @@ type Loaded struct {
 	Path     string // artifact path, "" for in-process installs
 	Seq      uint64 // monotone generation number, 1-based
 	LoadedAt time.Time
+	// Precision is the arithmetic the hot path scores with: the artifact's
+	// stamped serve precision, or Float64 for predictors without one.
+	Precision model.Precision
+	// scoreInto is the quantized batch scorer, nil when Precision is
+	// Float64 (execBatch then takes the reference PredictBatch path).
+	scoreInto func(vs []*feature.Vector, out []float64)
 }
 
 // Registry holds the current model and performs validated hot-swaps.
@@ -53,6 +68,11 @@ func (r *Registry) Ready() bool { return r.cur.Load() != nil }
 // validate scores the canary batch with m and rejects models that return
 // non-finite or out-of-range probabilities — the cheap liveness gate that
 // catches shape-mismatched or corrupt artifacts before they take traffic.
+// A model stamped with a reduced serve precision additionally has its
+// quantized path gated against the float64 reference on the same canary:
+// every score must agree within the precision's Tolerance (1e-3 for f32;
+// 5e-2 for int8, decisions compared where the reference has margin), so a
+// bad quantization can never take traffic the exact path would not.
 func (r *Registry) validate(m fusion.Predictor) error {
 	if len(r.canary) == 0 {
 		return nil
@@ -64,6 +84,23 @@ func (r *Registry) validate(m fusion.Predictor) error {
 	for i, s := range scores {
 		if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 || s > 1 {
 			return fmt.Errorf("serve: canary point %d scored %v, want a probability", i, s)
+		}
+	}
+	if qp, ok := m.(quantPredictor); ok && qp.ServePrecision() != model.Float64 {
+		prec := qp.ServePrecision()
+		tol, margin := prec.Tolerance()
+		q := make([]float64, len(r.canary))
+		qp.PredictBatchQInto(r.canary, q)
+		for i, s := range q {
+			if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 || s > 1 {
+				return fmt.Errorf("serve: quantized canary point %d scored %v, want a probability", i, s)
+			}
+			if d := math.Abs(s - scores[i]); d > tol {
+				return fmt.Errorf("serve: quantized canary point %d diverges by %g from float64 (%v limit %g)", i, d, prec, tol)
+			}
+			if math.Abs(scores[i]-0.5) >= margin && (s >= 0.5) != (scores[i] >= 0.5) {
+				return fmt.Errorf("serve: quantized canary point %d flips the decision (%v vs %v)", i, s, scores[i])
+			}
 		}
 	}
 	return nil
@@ -87,6 +124,10 @@ func (r *Registry) Install(m fusion.Predictor, path string) (*Loaded, error) {
 		Path:     path,
 		Seq:      r.seq.Add(1),
 		LoadedAt: time.Now(),
+	}
+	if qp, ok := m.(quantPredictor); ok && qp.ServePrecision() != model.Float64 {
+		l.Precision = qp.ServePrecision()
+		l.scoreInto = qp.PredictBatchQInto
 	}
 	r.cur.Store(l)
 	return l, nil

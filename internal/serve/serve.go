@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"crossmodal/internal/featurestore"
@@ -67,6 +68,9 @@ func (c Config) validate() error {
 	return nil
 }
 
+// ptCacheSize is the direct-mapped request-point cache size (power of two).
+const ptCacheSize = 4096
+
 // Server is the online inference service. Create with New, expose with
 // Handler, stop with Close.
 type Server struct {
@@ -75,6 +79,11 @@ type Server struct {
 	bat *Batcher
 	met *Metrics
 	mux *http.ServeMux
+	// ptCache memoizes derived request points, direct-mapped by a hash of
+	// (id, modality, frames). Points are immutable once derived and the
+	// derivation is deterministic, so a stale or racing slot only costs a
+	// redundant derive, never a wrong point.
+	ptCache []atomic.Pointer[synth.Point]
 }
 
 // New builds a server with an empty registry: it is alive (healthz) but not
@@ -87,7 +96,7 @@ func New(cfg Config, canary []*synth.Point) (*Server, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 500 * time.Millisecond
 	}
-	s := &Server{cfg: cfg, met: NewMetrics()}
+	s := &Server{cfg: cfg, met: NewMetrics(), ptCache: make([]atomic.Pointer[synth.Point], ptCacheSize)}
 	if len(canary) > 0 {
 		vecs, err := cfg.Store.Featurize(context.Background(), mapreduce.Config{Workers: cfg.Workers}, canary)
 		if err != nil {
@@ -139,24 +148,39 @@ func DerivePoint(w *synth.World, baseSeed int64, id int, m synth.Modality, frame
 }
 
 // BuildPoint renders a request into the data point it names under the
-// server's base seed.
+// server's base seed, memoized through the direct-mapped point cache so a
+// hot ID costs a few loads instead of re-rendering entity and noise state.
 func (s *Server) BuildPoint(id int, m synth.Modality, frames int) *synth.Point {
-	return DerivePoint(s.cfg.World, s.cfg.Seed, id, m, frames)
+	h := xrand.Mix(xrand.HashString(uint64(id)<<17^uint64(frames), string(m)))
+	slot := &s.ptCache[h&(ptCacheSize-1)]
+	if p := slot.Load(); p != nil && p.ID == id && p.Modality == m && p.Frames == frames {
+		return p
+	}
+	p := DerivePoint(s.cfg.World, s.cfg.Seed, id, m, frames)
+	slot.Store(p)
+	return p
 }
 
 // execBatch is the batcher's ExecFunc: snapshot the model once, featurize
 // the whole batch through the store under the batch's deadline, score it
-// with the parallel batch path.
-func (s *Server) execBatch(ctx context.Context, pts []*synth.Point) ([]float64, uint64, error) {
+// into the batcher-owned buffer — through the model's quantized serving
+// path when the installed artifact was stamped with one, the float64
+// reference path otherwise.
+func (s *Server) execBatch(ctx context.Context, pts []*synth.Point, scores []float64) (uint64, error) {
 	cur := s.reg.Current()
 	if cur == nil {
-		return nil, 0, errNotReady
+		return 0, errNotReady
 	}
 	vecs, err := s.cfg.Store.Featurize(ctx, mapreduce.Config{Workers: s.cfg.Workers}, pts)
 	if err != nil {
-		return nil, 0, err
+		return 0, err
 	}
-	return cur.Model.PredictBatch(vecs), cur.Seq, nil
+	if cur.scoreInto != nil {
+		cur.scoreInto(vecs, scores)
+	} else {
+		copy(scores, cur.Model.PredictBatch(vecs))
+	}
+	return cur.Seq, nil
 }
 
 // errNotReady maps to 503: the server is up but has no model yet.
@@ -330,9 +354,10 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"seq":  l.Seq,
-		"kind": l.Kind,
-		"path": l.Path,
+		"seq":       l.Seq,
+		"kind":      l.Kind,
+		"path":      l.Path,
+		"precision": l.Precision.String(),
 	})
 }
 

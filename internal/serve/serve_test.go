@@ -425,9 +425,9 @@ func TestPredictShedsWith429(t *testing.T) {
 	// released, so the pipeline wedges deterministically.
 	block := make(chan struct{})
 	s.bat.Close()
-	s.bat = NewBatcher(BatcherConfig{MaxBatchSize: 1, MaxWait: time.Millisecond, QueueDepth: 1}, func(ctx context.Context, pts []*synth.Point) ([]float64, uint64, error) {
+	s.bat = NewBatcher(BatcherConfig{MaxBatchSize: 1, MaxWait: time.Millisecond, QueueDepth: 1}, func(ctx context.Context, pts []*synth.Point, scores []float64) (uint64, error) {
 		<-block
-		return s.execBatch(ctx, pts)
+		return s.execBatch(ctx, pts, scores)
 	}, s.met)
 	defer func() {
 		select {
