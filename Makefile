@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test build bench bench-json bench-smoke race serve-bench chaos cover cover-check trace-smoke
+.PHONY: check test build bench bench-json bench-smoke race serve-bench chaos cover cover-check trace-smoke scale-smoke bench-scale
 
 ## check: tier-1 gate — build everything, vet it, run every test.
 check:
@@ -43,7 +43,7 @@ bench-smoke:
 ## race: race-detector pass over the concurrent packages (training engine,
 ## mapreduce, label propagation, feature encoding, feature store, serving).
 race:
-	$(GO) test -race ./internal/model/ ./internal/mapreduce/ ./internal/labelprop/ ./internal/feature/ ./internal/featurestore/ ./internal/serve/ ./internal/trace/
+	$(GO) test -race ./internal/model/ ./internal/mapreduce/ ./internal/labelprop/ ./internal/feature/ ./internal/featurestore/... ./internal/serve/ ./internal/trace/
 
 ## cover: per-package statement coverage for the whole module.
 cover:
@@ -62,6 +62,28 @@ cover-check:
 	    else { printf "note  %s  %.1f%% (no baseline — add to coverage_baseline.txt)\n", pkg, cov } } \
 	  END { for (pkg in base) if (!(pkg in seen)) { printf "FAIL  %s  in baseline but produced no coverage line\n", pkg; bad=1 } exit bad }' \
 	  coverage_baseline.txt cover.out; status=$$?; rm -f cover.out; exit $$status
+
+## scale-smoke: the scale/crash-safety gate — a 10^5-entity streamed
+## curation under the race detector, driven to completion through
+## deterministic injected commit crashes (internal/faulty schedule) with
+## resume-from-last-committed-chunk recovery after every crash. Shrink with
+## SCALE_N for quick local runs.
+SCALE_N ?= 100000
+scale-smoke:
+	CROSSMODAL_SCALE_SMOKE=1 CROSSMODAL_SCALE_N=$(SCALE_N) \
+		$(GO) test -race -count=1 -run TestScaleSmokeStreamed -v -timeout 30m ./internal/core/
+
+## bench-scale: snapshot the streamed-curation scaling curve — entities vs
+## wall-clock vs peak heap/RSS — as BENCH_scale.json. The claim archived
+## here: peak-heap-MB stays flat as entities grow, because resident memory
+## is bounded by ChunkSize and GraphWindow, not corpus size. Add a third
+## size (e.g. "100000 1000000 10000000") for the full curve when you can
+## spare the wall-clock.
+SCALE_SET ?= 100000 1000000
+bench-scale:
+	CROSSMODAL_BENCH_SCALE="$(SCALE_SET)" \
+		$(GO) test . -run xxx -bench BenchmarkScaleStream -benchtime 1x -timeout 120m \
+	| tee /dev/stderr | $(GO) run ./cmd/benchjson -o BENCH_scale.json
 
 ## trace-smoke: run the traced pipeline under the race detector — the golden
 ## run must stay bit-identical with spans enabled — then produce a real

@@ -36,6 +36,10 @@ type Result struct {
 	// BytesPerOp / AllocsPerOp are present only with -benchmem.
 	BytesPerOp  *int64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom benchmark metrics (testing.B.ReportMetric),
+	// keyed by unit — e.g. "entities", "peak-heap-MB" from the scale
+	// benchmarks (see `make bench-scale`).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Doc is the emitted document.
@@ -140,15 +144,25 @@ func parseLine(line, pkg string) (Result, bool) {
 	}
 	r := Result{Name: name, Pkg: pkg, Iter: iter, NsPerOp: ns}
 	for i := 4; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseInt(fields[i], 10, 64)
+		f, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
 			continue
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "B/op":
+			v := int64(f)
 			r.BytesPerOp = &v
 		case "allocs/op":
+			v := int64(f)
 			r.AllocsPerOp = &v
+		default:
+			// Custom metric from testing.B.ReportMetric; keep its unit as
+			// the key so scale metrics like "entities" or "peak-heap-MB"
+			// survive into the archived document.
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = f
 		}
 	}
 	return r, true

@@ -143,3 +143,26 @@ func TestParseLine(t *testing.T) {
 		}
 	}
 }
+
+// TestParseLineCustomMetrics: metrics reported via testing.B.ReportMetric
+// (the scale benchmarks report entities and peak-heap-MB) land in the
+// Metrics map keyed by unit, alongside the standard -benchmem fields.
+func TestParseLineCustomMetrics(t *testing.T) {
+	line := "BenchmarkScaleStream/entities=100000-2 1 123456789 ns/op 100000 entities 42.5 peak-heap-MB 96.0 peak-rss-MB 7 B/op 3 allocs/op"
+	r, ok := parseLine(line, "crossmodal")
+	if !ok {
+		t.Fatalf("parseLine rejected %q", line)
+	}
+	want := map[string]float64{"entities": 100000, "peak-heap-MB": 42.5, "peak-rss-MB": 96.0}
+	for unit, v := range want {
+		if got := r.Metrics[unit]; got != v {
+			t.Errorf("metric %s = %v, want %v", unit, got, v)
+		}
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 7 || r.AllocsPerOp == nil || *r.AllocsPerOp != 3 {
+		t.Errorf("benchmem fields lost next to custom metrics: %+v", r)
+	}
+	if len(r.Metrics) != len(want) {
+		t.Errorf("unexpected extra metrics: %v", r.Metrics)
+	}
+}

@@ -7,6 +7,12 @@
 // Usage:
 //
 //	datagen [-task CT1] [-n 1000] [-seed 17] [-corpus text|image|test] [-o out.jsonl]
+//
+// With -stream the corpus is generated, featurized, and written chunk by
+// chunk (chunk size -chunk) instead of materializing the whole dataset
+// first, so memory stays bounded by the chunk size — the CLI face of the
+// streaming curation path. The emitted records are byte-identical to the
+// materialized mode at the same flags.
 package main
 
 import (
@@ -38,6 +44,8 @@ type runConfig struct {
 	seed   int64
 	corpus string
 	out    string
+	stream bool
+	chunk  int
 }
 
 func (c runConfig) validate() error {
@@ -46,6 +54,9 @@ func (c runConfig) validate() error {
 	}
 	if c.n <= 0 {
 		return fmt.Errorf("-n must be positive, got %d", c.n)
+	}
+	if c.stream && c.chunk <= 0 {
+		return fmt.Errorf("-chunk must be positive in -stream mode, got %d", c.chunk)
 	}
 	switch c.corpus {
 	case "text", "image", "test":
@@ -64,6 +75,8 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 17, "random seed")
 	flag.StringVar(&cfg.corpus, "corpus", "text", "corpus to export: text, image, or test")
 	flag.StringVar(&cfg.out, "o", "", "output file (default stdout)")
+	flag.BoolVar(&cfg.stream, "stream", false, "generate and featurize chunk by chunk (bounded memory)")
+	flag.IntVar(&cfg.chunk, "chunk", 4096, "points per chunk in -stream mode")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		log.Fatal(err)
@@ -87,27 +100,12 @@ func run(cfg runConfig) error {
 	if err != nil {
 		return err
 	}
-	ds, err := synth.BuildDataset(world, task, synth.DatasetConfig{
+	dsCfg := synth.DatasetConfig{
 		Seed:              seed,
 		NumText:           n,
 		NumUnlabeledImage: n,
 		NumHandLabelPool:  1,
 		NumTest:           n,
-	})
-	if err != nil {
-		return err
-	}
-	var pts []*synth.Point
-	labeled := true
-	switch corpus {
-	case "text":
-		pts = ds.LabeledText
-	case "image":
-		pts, labeled = ds.UnlabeledImage, false
-	case "test":
-		pts = ds.TestImage
-	default:
-		return fmt.Errorf("unknown corpus %q (want text, image, or test)", corpus)
 	}
 
 	w := bufio.NewWriter(os.Stdout)
@@ -124,19 +122,63 @@ func run(cfg runConfig) error {
 		w = bufio.NewWriter(f)
 	}
 	enc := json.NewEncoder(w)
-	for _, p := range pts {
-		rec := record{
-			ID:       p.ID,
-			Modality: string(p.Modality),
-			Features: featureMap(lib.FeaturizePoint(p)),
+	labeled := corpus == "text" || corpus == "test"
+	emit := func(pts []*synth.Point) error {
+		for _, p := range pts {
+			rec := record{
+				ID:       p.ID,
+				Modality: string(p.Modality),
+				Features: featureMap(lib.FeaturizePoint(p)),
+			}
+			if labeled {
+				label := p.Label
+				rec.Label = &label
+			}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
 		}
-		if labeled {
-			label := p.Label
-			rec.Label = &label
-		}
-		if err := enc.Encode(rec); err != nil {
+		return nil
+	}
+
+	if cfg.stream {
+		want := map[string]synth.CorpusKind{
+			"text": synth.TextCorpus, "image": synth.ImageCorpus, "test": synth.TestCorpus,
+		}[corpus]
+		stream, err := synth.NewStream(world, task, dsCfg)
+		if err != nil {
 			return err
 		}
+		for {
+			ch := stream.Next(cfg.chunk)
+			if ch == nil {
+				break
+			}
+			if ch.Corpus != want {
+				continue
+			}
+			if err := emit(ch.Points); err != nil {
+				return err
+			}
+		}
+		return w.Flush()
+	}
+
+	ds, err := synth.BuildDataset(world, task, dsCfg)
+	if err != nil {
+		return err
+	}
+	var pts []*synth.Point
+	switch corpus {
+	case "text":
+		pts = ds.LabeledText
+	case "image":
+		pts = ds.UnlabeledImage
+	case "test":
+		pts = ds.TestImage
+	}
+	if err := emit(pts); err != nil {
+		return err
 	}
 	return w.Flush()
 }

@@ -96,3 +96,41 @@ func TestRunWritesJSONL(t *testing.T) {
 		}
 	}
 }
+
+// TestStreamModeMatchesMaterialized: -stream emits byte-identical output to
+// the materialized path at every corpus, including with a chunk size that
+// does not divide the corpus.
+func TestStreamModeMatchesMaterialized(t *testing.T) {
+	dir := t.TempDir()
+	for _, corpus := range []string{"text", "image", "test"} {
+		mat := dir + "/" + corpus + "-mat.jsonl"
+		str := dir + "/" + corpus + "-str.jsonl"
+		if err := run(runConfig{task: "CT1", n: 20, seed: 5, corpus: corpus, out: mat}); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(runConfig{task: "CT1", n: 20, seed: 5, corpus: corpus, out: str, stream: true, chunk: 7}); err != nil {
+			t.Fatal(err)
+		}
+		a, err := os.ReadFile(mat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(str)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%s: streamed export differs from materialized export", corpus)
+		}
+	}
+}
+
+// TestStreamModeRejectsBadChunk: chunk validation applies in stream mode.
+func TestStreamModeRejectsBadChunk(t *testing.T) {
+	cfg := goodConfig()
+	cfg.stream = true
+	cfg.chunk = 0
+	if err := run(cfg); err == nil {
+		t.Fatal("stream mode accepted chunk 0")
+	}
+}

@@ -106,6 +106,11 @@ type (
 	Curation = core.Curation
 	// TrainSpec selects one end-model variant.
 	TrainSpec = core.TrainSpec
+	// StreamOptions configures the disk-backed streaming curation path.
+	StreamOptions = core.StreamOptions
+	// StreamedCuration is Curation's streaming analogue: probabilistic
+	// labels plus open feature stores instead of materialized vectors.
+	StreamedCuration = core.StreamedCuration
 	// Predictor scores feature vectors with P(y = +1).
 	Predictor = fusion.Predictor
 	// FusionKind selects the multi-modal training architecture.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -122,6 +123,69 @@ func compareGolden(t *testing.T, got goldenResult) {
 	}
 }
 
+// runGoldenPipelineStreamed is runGoldenPipeline with the front half swapped
+// for the disk-backed streaming path: no BuildDataset — points are generated,
+// featurized, and spilled to a sharded feature store in chunks, LFs are mined
+// over the store, and the propagation graph grows by incremental deltas.
+func runGoldenPipelineStreamed(t *testing.T, ctx context.Context, dir string, chunkSize int) goldenResult {
+	t.Helper()
+
+	world := crossmodal.MustWorld(crossmodal.DefaultWorldConfig())
+	lib, err := crossmodal.StandardLibrary(world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := crossmodal.TaskByName("CT1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := crossmodal.DefaultOptions()
+	opts.Seed = 41
+	opts.Workers = 2 // pinned: golden bytes must not depend on GOMAXPROCS
+	opts.MaxGraphSeeds, opts.GraphDevNodes = 600, 200
+	pipe, err := crossmodal.NewPipeline(lib, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := pipe.CurateStreamed(ctx, world, task, crossmodal.DatasetConfig{
+		Seed: 41, NumText: 2000, NumUnlabeledImage: 800, NumHandLabelPool: 200, NumTest: 600,
+	}, crossmodal.StreamOptions{Dir: dir, ChunkSize: chunkSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	cur, err := sc.Materialize(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predictor, err := pipe.Train(ctx, cur, pipe.DefaultTrainSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	auprc, err := pipe.EvaluateAUPRC(ctx, predictor, sc.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nScores = 8
+	vecs, err := pipe.Featurize(ctx, sc.Test[:nScores])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return goldenResult{
+		Task:        sc.Report.Task,
+		LFCount:     sc.Report.LFCount,
+		PropIters:   sc.Report.PropIters,
+		WSPrecision: sc.Report.WSPrecision,
+		WSRecall:    sc.Report.WSRecall,
+		WSF1:        sc.Report.WSF1,
+		WSCoverage:  sc.Report.WSCoverage,
+		AUPRC:       auprc,
+		Scores:      predictor.PredictBatch(vecs),
+	}
+}
+
 // TestGoldenPipeline compares a full pipeline run bit-for-bit against
 // testdata/golden_pipeline.json. Regenerate with:
 //
@@ -148,4 +212,23 @@ func TestGoldenPipeline(t *testing.T) {
 		return
 	}
 	compareGolden(t, got)
+}
+
+// TestGoldenPipelineStreamed is the bit-identity gate on the streaming path:
+// the streamed run at the golden seed must match testdata/golden_pipeline.json
+// byte for byte — same LF count, same propagation iterations, same WS quality
+// floats, same test scores — at more than one chunk size, including one that
+// does not divide the corpus sizes. Disk round-trips, chunked scale fitting,
+// streamed mining, and incremental graph deltas are all exact, so any drift
+// here is a correctness bug in the streaming rewrite, not noise.
+func TestGoldenPipelineStreamed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	for _, chunk := range []int{256, 513} {
+		t.Run(fmt.Sprintf("chunk=%d", chunk), func(t *testing.T) {
+			got := runGoldenPipelineStreamed(t, context.Background(), t.TempDir(), chunk)
+			compareGolden(t, got)
+		})
+	}
 }

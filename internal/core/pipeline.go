@@ -382,13 +382,12 @@ func (p *Pipeline) buildLFs(ctx context.Context, devVecs []*feature.Vector, devL
 	}
 }
 
-// propagate runs label propagation from labeled text seeds through the
-// common-feature graph to the unlabeled image corpus, tunes vote cuts on
-// held-out text, and appends the resulting score LF to the image matrix.
-func (p *Pipeline) propagate(ctx context.Context, textVecs []*feature.Vector, textLabels []int8, imageVecs []*feature.Vector, matrix, devMatrix *lf.Matrix) (labelprop.Cuts, int, error) {
-	gSchema := p.graphSchema()
+// graphSplit deterministically splits the labeled corpus into propagation
+// seed indices and held-out cut-tuning indices. Both the in-memory and the
+// streamed curation paths derive their node layout from this one split.
+func (p *Pipeline) graphSplit(nText int) (seedIdx, devIdx []int, err error) {
 	rng := xrand.New(p.opts.Seed ^ 0x9a6b)
-	perm := rng.Perm(len(textVecs))
+	perm := rng.Perm(nText)
 	nSeeds := min(p.opts.MaxGraphSeeds, len(perm))
 	nDev := min(p.opts.GraphDevNodes, len(perm)-nSeeds)
 	if nDev == 0 && len(perm) >= 8 {
@@ -397,9 +396,86 @@ func (p *Pipeline) propagate(ctx context.Context, textVecs []*feature.Vector, te
 		nDev = len(perm) - nSeeds
 	}
 	if nSeeds == 0 || nDev == 0 {
-		return labelprop.Cuts{}, 0, fmt.Errorf("core: labeled corpus too small for propagation (%d points)", len(textVecs))
+		return nil, nil, fmt.Errorf("core: labeled corpus too small for propagation (%d points)", nText)
 	}
-	seedIdx, devIdx := perm[:nSeeds], perm[nSeeds:nSeeds+nDev]
+	return perm[:nSeeds], perm[nSeeds : nSeeds+nDev], nil
+}
+
+// tunePropCuts turns held-out propagation scores into vote thresholds.
+// clampScores are the unlabeled-corpus scores bounding the negative cut to
+// the clearly negative tail (the paper's "large volumes of negative
+// examples"): a blanket negative vote near the prior would crush borderline
+// positives.
+func (p *Pipeline) tunePropCuts(devScores []float64, devLabels []int8, base float64, clampScores []float64) (labelprop.Cuts, error) {
+	posTarget := p.opts.PosCutLift * base
+	if posTarget < 0.03 {
+		posTarget = 0.03
+	}
+	if posTarget > 0.8 {
+		posTarget = 0.8
+	}
+	// The negative cut must deplete positives below the base rate, not
+	// merely match the (already high) negative prior.
+	negTarget := 1 - base/3
+	if negTarget < p.opts.NegCutPrecision {
+		negTarget = p.opts.NegCutPrecision
+	}
+	cuts, err := labelprop.ChooseCuts(devScores, devLabels, posTarget, negTarget)
+	if err != nil {
+		return labelprop.Cuts{}, fmt.Errorf("core: choose cuts: %w", err)
+	}
+	sorted := append([]float64(nil), clampScores...)
+	sort.Float64s(sorted)
+	if q := sorted[len(sorted)/4]; cuts.Neg > q {
+		cuts.Neg = q
+	}
+	return cuts, nil
+}
+
+// appendPropLF appends the propagation score LF to the image matrix and
+// mirrors it onto the labeled dev matrix (scores of the held-out, unseeded
+// text nodes) so the dev-anchored label model can estimate its reliability
+// like any other LF. Dev rows outside the held-out sample abstain.
+func appendPropLF(matrix, devMatrix *lf.Matrix, cuts labelprop.Cuts, imageScores []float64, imagePresent []bool, devIdx []int, devScores []float64, devReached []bool) error {
+	scoreLF := &lf.ScoreLF{
+		Name:    "labelprop",
+		Source:  "labelprop",
+		Scores:  imageScores,
+		Present: imagePresent,
+		PosCut:  cuts.Pos,
+		NegCut:  cuts.Neg,
+	}
+	if err := matrix.AppendScoreLF(scoreLF); err != nil {
+		return fmt.Errorf("core: append propagation LF: %w", err)
+	}
+	devVotes := &lf.ScoreLF{
+		Name:    "labelprop",
+		Source:  "labelprop",
+		Scores:  make([]float64, devMatrix.NumPoints()),
+		Present: make([]bool, devMatrix.NumPoints()),
+		PosCut:  cuts.Pos,
+		NegCut:  cuts.Neg,
+	}
+	for i, ti := range devIdx {
+		devVotes.Scores[ti] = devScores[i]
+		devVotes.Present[ti] = devReached[i]
+	}
+	if err := devMatrix.AppendScoreLF(devVotes); err != nil {
+		return fmt.Errorf("core: append dev propagation LF: %w", err)
+	}
+	return nil
+}
+
+// propagate runs label propagation from labeled text seeds through the
+// common-feature graph to the unlabeled image corpus, tunes vote cuts on
+// held-out text, and appends the resulting score LF to the image matrix.
+func (p *Pipeline) propagate(ctx context.Context, textVecs []*feature.Vector, textLabels []int8, imageVecs []*feature.Vector, matrix, devMatrix *lf.Matrix) (labelprop.Cuts, int, error) {
+	gSchema := p.graphSchema()
+	seedIdx, devIdx, err := p.graphSplit(len(textVecs))
+	if err != nil {
+		return labelprop.Cuts{}, 0, err
+	}
+	nSeeds, nDev := len(seedIdx), len(devIdx)
 
 	nodes := make([]*feature.Vector, 0, nSeeds+nDev+len(imageVecs))
 	seeds := make(map[int]float64, nSeeds)
@@ -452,61 +528,14 @@ func (p *Pipeline) propagate(ctx context.Context, textVecs []*feature.Vector, te
 	for i, ti := range devIdx {
 		devLabels[i] = textLabels[ti]
 	}
-	base := posSeeds / float64(nSeeds)
-	posTarget := p.opts.PosCutLift * base
-	if posTarget < 0.03 {
-		posTarget = 0.03
-	}
-	if posTarget > 0.8 {
-		posTarget = 0.8
-	}
-	// The negative cut must deplete positives below the base rate, not
-	// merely match the (already high) negative prior.
-	negTarget := 1 - base/3
-	if negTarget < p.opts.NegCutPrecision {
-		negTarget = p.opts.NegCutPrecision
-	}
-	cuts, err := labelprop.ChooseCuts(devScores, devLabels, posTarget, negTarget)
+	cuts, err := p.tunePropCuts(devScores, devLabels, posSeeds/float64(nSeeds), res.Scores[imageStart:])
 	if err != nil {
-		return labelprop.Cuts{}, 0, fmt.Errorf("core: choose cuts: %w", err)
+		return labelprop.Cuts{}, 0, err
 	}
-	// Bound the propagation LF's negative votes to the clearly negative
-	// tail (the paper's "large volumes of negative examples"): a blanket
-	// negative vote near the prior would crush borderline positives.
-	imageScores := append([]float64(nil), res.Scores[imageStart:]...)
-	sort.Float64s(imageScores)
-	if q := imageScores[len(imageScores)/4]; cuts.Neg > q {
-		cuts.Neg = q
-	}
-	scoreLF := &lf.ScoreLF{
-		Name:    "labelprop",
-		Source:  "labelprop",
-		Scores:  res.Scores[imageStart:],
-		Present: res.Reached[imageStart:],
-		PosCut:  cuts.Pos,
-		NegCut:  cuts.Neg,
-	}
-	if err := matrix.AppendScoreLF(scoreLF); err != nil {
-		return labelprop.Cuts{}, 0, fmt.Errorf("core: append propagation LF: %w", err)
-	}
-	// Mirror the propagation LF onto the labeled dev matrix (scores of the
-	// held-out, unseeded text nodes) so the dev-anchored label model can
-	// estimate its reliability like any other LF. Dev rows outside the
-	// held-out sample abstain.
-	devVotes := &lf.ScoreLF{
-		Name:    "labelprop",
-		Source:  "labelprop",
-		Scores:  make([]float64, devMatrix.NumPoints()),
-		Present: make([]bool, devMatrix.NumPoints()),
-		PosCut:  cuts.Pos,
-		NegCut:  cuts.Neg,
-	}
-	for i, ti := range devIdx {
-		devVotes.Scores[ti] = devScores[i]
-		devVotes.Present[ti] = res.Reached[devStart+i]
-	}
-	if err := devMatrix.AppendScoreLF(devVotes); err != nil {
-		return labelprop.Cuts{}, 0, fmt.Errorf("core: append dev propagation LF: %w", err)
+	if err := appendPropLF(matrix, devMatrix, cuts,
+		res.Scores[imageStart:], res.Reached[imageStart:],
+		devIdx, devScores, res.Reached[devStart:imageStart]); err != nil {
+		return labelprop.Cuts{}, 0, err
 	}
 	return cuts, res.Iters, nil
 }
@@ -657,15 +686,21 @@ func coverageRate(covered []bool) float64 {
 // even for clear positives, yet a posterior several times the prior is a
 // confident positive call.
 func wsQuality(probs []float64, covered []bool, pts []*synth.Point, prior float64) (precision, recall, f1 float64) {
+	return wsQualityLabels(probs, covered, synth.Labels(pts), prior)
+}
+
+// wsQualityLabels is wsQuality over bare truth labels — the streamed path
+// retains only the hidden labels of the generated points, not the points.
+func wsQualityLabels(probs []float64, covered []bool, labels []int8, prior float64) (precision, recall, f1 float64) {
 	cut := 0.5
 	if rel := 5 * prior; rel < cut && rel > 0 {
 		cut = rel
 	}
 	var c metrics.Confusion
-	for i, pt := range pts {
+	for i, label := range labels {
 		if !covered[i] {
 			// Uncovered points count as missed positives for recall.
-			if pt.Label > 0 {
+			if label > 0 {
 				c.FN++
 			} else {
 				c.TN++
@@ -676,7 +711,7 @@ func wsQuality(probs []float64, covered []bool, pts []*synth.Point, prior float6
 		if probs[i] >= cut {
 			pred = 1
 		}
-		c.Add(pt.Label, pred)
+		c.Add(label, pred)
 	}
 	return c.Precision(), c.Recall(), c.F1()
 }

@@ -1,0 +1,499 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"crossmodal/internal/faulty"
+	"crossmodal/internal/resource"
+	"crossmodal/internal/synth"
+	"crossmodal/internal/xrand"
+)
+
+// Streaming fixture: its own (smaller) corpus so stream tests stay fast and
+// independent of the shared testEnv dataset.
+var (
+	streamOnce  sync.Once
+	streamWorld *synth.World
+	streamLib   *resource.Library
+	streamTask  *synth.Task
+)
+
+func streamEnv(t *testing.T) (*resource.Library, *synth.World, *synth.Task) {
+	t.Helper()
+	streamOnce.Do(func() {
+		w := synth.MustWorld(synth.DefaultConfig())
+		lib, err := resource.StandardLibrary(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		task, err := synth.TaskByName("CT1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamWorld, streamLib, streamTask = w, lib, task
+	})
+	if streamLib == nil {
+		t.Fatal("stream environment setup failed")
+	}
+	return streamLib, streamWorld, streamTask
+}
+
+func streamDSConfig() synth.DatasetConfig {
+	return synth.DatasetConfig{Seed: 31, NumText: 800, NumUnlabeledImage: 400, NumHandLabelPool: 120, NumTest: 150}
+}
+
+func streamOptions() Options {
+	o := DefaultOptions()
+	o.Seed = 31
+	o.Workers = 2
+	o.MaxGraphSeeds = 300
+	o.GraphDevNodes = 120
+	return o
+}
+
+func newStreamPipeline(t *testing.T, opts Options) *Pipeline {
+	t.Helper()
+	lib, _, _ := streamEnv(t)
+	p, err := NewPipeline(lib, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func runStreamed(t *testing.T, opts Options, sopts StreamOptions) *StreamedCuration {
+	t.Helper()
+	p := newStreamPipeline(t, opts)
+	_, w, task := streamEnv(t)
+	sc, err := p.CurateStreamed(context.Background(), w, task, streamDSConfig(), sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sc.Close() })
+	return sc
+}
+
+// streamedEqual asserts two streamed curations are bit-identical in every
+// training-relevant output.
+func streamedEqual(t *testing.T, got, want *StreamedCuration) {
+	t.Helper()
+	if len(got.ProbLabels) != len(want.ProbLabels) {
+		t.Fatalf("prob labels: %d vs %d", len(got.ProbLabels), len(want.ProbLabels))
+	}
+	for i := range got.ProbLabels {
+		if math.Float64bits(got.ProbLabels[i]) != math.Float64bits(want.ProbLabels[i]) {
+			t.Fatalf("prob[%d] = %v vs %v (bit drift)", i, got.ProbLabels[i], want.ProbLabels[i])
+		}
+		if got.Covered[i] != want.Covered[i] {
+			t.Fatalf("covered[%d] = %v vs %v", i, got.Covered[i], want.Covered[i])
+		}
+	}
+	g, w := got.Report, want.Report
+	if g.LFCount != w.LFCount || g.PropIters != w.PropIters || g.Cuts != w.Cuts {
+		t.Errorf("report drift: lfs %d vs %d, iters %d vs %d, cuts %+v vs %+v",
+			g.LFCount, w.LFCount, g.PropIters, w.PropIters, g.Cuts, w.Cuts)
+	}
+	exact := func(name string, a, b float64) {
+		if a != b {
+			t.Errorf("%s = %v vs %v (bit drift)", name, a, b)
+		}
+	}
+	exact("ws_precision", g.WSPrecision, w.WSPrecision)
+	exact("ws_recall", g.WSRecall, w.WSRecall)
+	exact("ws_f1", g.WSF1, w.WSF1)
+	exact("ws_coverage", g.WSCoverage, w.WSCoverage)
+}
+
+// TestCurateStreamedMatchesCurate: the streamed path and the in-memory path
+// must produce bit-identical curations at the same configuration — the
+// package-internal version of the golden gate, comparing every probabilistic
+// label instead of a fingerprint.
+func TestCurateStreamedMatchesCurate(t *testing.T) {
+	_, w, task := streamEnv(t)
+	opts := streamOptions()
+	p := newStreamPipeline(t, opts)
+
+	ds, err := synth.BuildDataset(w, task, streamDSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := p.Curate(context.Background(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sc := runStreamed(t, opts, StreamOptions{Dir: t.TempDir(), ChunkSize: 128})
+
+	if len(sc.ProbLabels) != len(cur.ProbLabels) {
+		t.Fatalf("prob labels: %d streamed vs %d in-memory", len(sc.ProbLabels), len(cur.ProbLabels))
+	}
+	for i := range cur.ProbLabels {
+		if math.Float64bits(sc.ProbLabels[i]) != math.Float64bits(cur.ProbLabels[i]) {
+			t.Fatalf("prob[%d] = %v streamed vs %v in-memory (bit drift)", i, sc.ProbLabels[i], cur.ProbLabels[i])
+		}
+		if sc.Covered[i] != cur.Covered[i] {
+			t.Fatalf("covered[%d] = %v streamed vs %v in-memory", i, sc.Covered[i], cur.Covered[i])
+		}
+	}
+	if sc.Report.LFCount != cur.Report.LFCount || sc.Report.PropIters != cur.Report.PropIters || sc.Report.Cuts != cur.Report.Cuts {
+		t.Errorf("report drift: lfs %d vs %d, iters %d vs %d, cuts %+v vs %+v",
+			sc.Report.LFCount, cur.Report.LFCount, sc.Report.PropIters, cur.Report.PropIters, sc.Report.Cuts, cur.Report.Cuts)
+	}
+	if sc.Report.WSF1 != cur.Report.WSF1 || sc.Report.WSCoverage != cur.Report.WSCoverage {
+		t.Errorf("ws drift: f1 %v vs %v, coverage %v vs %v",
+			sc.Report.WSF1, cur.Report.WSF1, sc.Report.WSCoverage, cur.Report.WSCoverage)
+	}
+
+	// Materialize must hand back the stored vectors bit-exactly and in order.
+	mat, err := sc.Materialize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mat.TextVecs) != len(cur.TextVecs) || len(mat.ImageVecs) != len(cur.ImageVecs) {
+		t.Fatalf("materialized %d/%d vecs, in-memory %d/%d",
+			len(mat.TextVecs), len(mat.ImageVecs), len(cur.TextVecs), len(cur.ImageVecs))
+	}
+	for i := range cur.TextVecs {
+		if mat.TextVecs[i].String() != cur.TextVecs[i].String() {
+			t.Fatalf("text vec %d drifted through the store:\n  store: %s\n  mem:   %s",
+				i, mat.TextVecs[i], cur.TextVecs[i])
+		}
+	}
+}
+
+// TestCurateStreamedRefusesDirtyStore: without Resume, a non-empty store
+// directory is an error, not silent reuse.
+func TestCurateStreamedRefusesDirtyStore(t *testing.T) {
+	dir := t.TempDir()
+	opts := streamOptions()
+	runStreamed(t, opts, StreamOptions{Dir: dir, ChunkSize: 128})
+
+	p := newStreamPipeline(t, opts)
+	_, w, task := streamEnv(t)
+	_, err := p.CurateStreamed(context.Background(), w, task, streamDSConfig(), StreamOptions{Dir: dir, ChunkSize: 128})
+	if err == nil || !strings.Contains(err.Error(), "already has data") {
+		t.Fatalf("dirty store not refused: %v", err)
+	}
+}
+
+// TestCurateStreamedRequiresDir and mined-LF gating.
+func TestCurateStreamedConfigErrors(t *testing.T) {
+	opts := streamOptions()
+	p := newStreamPipeline(t, opts)
+	_, w, task := streamEnv(t)
+	if _, err := p.CurateStreamed(context.Background(), w, task, streamDSConfig(), StreamOptions{}); err == nil {
+		t.Fatal("missing Dir accepted")
+	}
+
+	opts.LFSource = ExpertLFs
+	pe := newStreamPipeline(t, opts)
+	_, err := pe.CurateStreamed(context.Background(), w, task, streamDSConfig(), StreamOptions{Dir: t.TempDir()})
+	if err == nil || !strings.Contains(err.Error(), "mined LFs only") {
+		t.Fatalf("expert LFs not rejected: %v", err)
+	}
+}
+
+// TestCurateStreamedResumeAfterIngestCrash: kill the run mid-ingest (after
+// some chunks committed), then reopen with Resume — the committed prefix is
+// not re-featurized and the final curation is bit-identical to a run that
+// never crashed.
+func TestCurateStreamedResumeAfterIngestCrash(t *testing.T) {
+	opts := streamOptions()
+	clean := runStreamed(t, opts, StreamOptions{Dir: t.TempDir(), ChunkSize: 128})
+
+	dir := t.TempDir()
+	boom := errors.New("injected crash")
+	p := newStreamPipeline(t, opts)
+	_, w, task := streamEnv(t)
+	_, err := p.CurateStreamed(context.Background(), w, task, streamDSConfig(), StreamOptions{
+		Dir: dir, ChunkSize: 128,
+		ChunkHook: func(stage string, chunk int) error {
+			if stage == "ingest:image" && chunk == 1 {
+				return boom
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("injected crash not surfaced: %v", err)
+	}
+
+	// Resume: count segment commits to prove the committed prefix (all 7 text
+	// chunks + 2 image chunks) was skipped, not re-featurized and re-written.
+	var commits int
+	resumed := runStreamed(t, opts, StreamOptions{
+		Dir: dir, ChunkSize: 128, Resume: true,
+		CommitHook: func(op, path string) error {
+			if op == "marker" {
+				commits++
+			}
+			return nil
+		},
+	})
+	streamedEqual(t, resumed, clean)
+	textChunks, imageChunks := 7, 4 // ceil(800/128), ceil(400/128)
+	want := textChunks + imageChunks - (textChunks + 2)
+	if commits != want {
+		t.Errorf("resume committed %d chunks, want %d (committed prefix must be reused)", commits, want)
+	}
+}
+
+// TestCurateStreamedResumeAfterTornCommit: crash between segment writes and
+// the commit marker, leaving orphaned segment files. Reopening must
+// quarantine the debris and the resumed run must re-featurize exactly that
+// chunk, landing bit-identical to a clean run.
+func TestCurateStreamedResumeAfterTornCommit(t *testing.T) {
+	opts := streamOptions()
+	clean := runStreamed(t, opts, StreamOptions{Dir: t.TempDir(), ChunkSize: 128})
+
+	dir := t.TempDir()
+	boom := errors.New("torn commit")
+	p := newStreamPipeline(t, opts)
+	_, w, task := streamEnv(t)
+	_, err := p.CurateStreamed(context.Background(), w, task, streamDSConfig(), StreamOptions{
+		Dir: dir, ChunkSize: 128,
+		CommitHook: func(op, path string) error {
+			// Segments for image chunk 2 land on disk; its marker never does.
+			if op == "marker" && strings.Contains(path, "image") && strings.Contains(path, "c000002") {
+				return boom
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("injected torn commit not surfaced: %v", err)
+	}
+
+	resumed := runStreamed(t, opts, StreamOptions{Dir: dir, ChunkSize: 128, Resume: true})
+	streamedEqual(t, resumed, clean)
+	if q := resumed.Image.Quarantined(); len(q) == 0 {
+		t.Error("torn segments were not quarantined on reopen")
+	}
+}
+
+// TestCurateStreamedWindowed: a graph window smaller than the corpus still
+// completes; rows past the window simply get no propagation vote. The
+// windowed run must agree with the full run on everything upstream of
+// propagation (mined LF count), and its outputs keep corpus shape.
+func TestCurateStreamedWindowed(t *testing.T) {
+	opts := streamOptions()
+	full := runStreamed(t, opts, StreamOptions{Dir: t.TempDir(), ChunkSize: 128})
+	windowed := runStreamed(t, opts, StreamOptions{Dir: t.TempDir(), ChunkSize: 128, GraphWindow: 150})
+
+	if len(windowed.ProbLabels) != len(full.ProbLabels) {
+		t.Fatalf("windowed probs %d, full %d", len(windowed.ProbLabels), len(full.ProbLabels))
+	}
+	if windowed.Report.LFCount != full.Report.LFCount {
+		t.Errorf("window changed LF count: %d vs %d (mining must not depend on the graph window)",
+			windowed.Report.LFCount, full.Report.LFCount)
+	}
+	if c := windowed.Report.WSCoverage; c <= 0 || c > 1 {
+		t.Errorf("windowed coverage %v out of range", c)
+	}
+}
+
+// TestCurateStreamedWarmPropagate: the warm incremental-propagation mode
+// (re-propagate after every graph delta, warm-started from the previous
+// scores) must complete and converge to scores near the cold fixed point.
+func TestCurateStreamedWarmPropagate(t *testing.T) {
+	opts := streamOptions()
+	cold := runStreamed(t, opts, StreamOptions{Dir: t.TempDir(), ChunkSize: 128})
+	warm := runStreamed(t, opts, StreamOptions{Dir: t.TempDir(), ChunkSize: 128, WarmPropagate: true})
+
+	if warm.Report.PropIters <= 0 {
+		t.Fatal("warm run reports no propagation iterations")
+	}
+	if len(warm.ProbLabels) != len(cold.ProbLabels) {
+		t.Fatalf("warm probs %d, cold %d", len(warm.ProbLabels), len(cold.ProbLabels))
+	}
+	if d := math.Abs(warm.Report.WSCoverage - cold.Report.WSCoverage); d > 0.1 {
+		t.Errorf("warm coverage %v far from cold %v", warm.Report.WSCoverage, cold.Report.WSCoverage)
+	}
+}
+
+// TestCurateStreamedTextOnly: with the image modality off the streamed path
+// returns an empty (all-abstain) curation without touching the WS stages.
+func TestCurateStreamedTextOnly(t *testing.T) {
+	opts := streamOptions()
+	opts.UseImage = false
+	sc := runStreamed(t, opts, StreamOptions{Dir: t.TempDir(), ChunkSize: 128})
+	if sc.Report.LFCount != 0 {
+		t.Errorf("text-only run mined %d LFs", sc.Report.LFCount)
+	}
+	for i, c := range sc.Covered {
+		if c || sc.ProbLabels[i] != 0 {
+			t.Fatalf("text-only run produced a label at row %d", i)
+		}
+	}
+}
+
+// streamedPeakHeap runs a streamed curation over a corpus scaled by mult and
+// returns the post-GC heap high-water mark sampled after every chunk step.
+// Numeric quantile mining is off (its candidate buffer is O(corpus) by
+// design) and the graph window is pinned, so resident state should be
+// bounded by the chunk size, not the corpus.
+func streamedPeakHeap(t *testing.T, mult int) uint64 {
+	t.Helper()
+	opts := streamOptions()
+	opts.Mining.NumericQuantiles = 0
+	var peak uint64
+	probe := func(stage string, chunk int) error {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > peak {
+			peak = ms.HeapAlloc
+		}
+		return nil
+	}
+	p := newStreamPipeline(t, opts)
+	_, w, task := streamEnv(t)
+	cfg := synth.DatasetConfig{Seed: 47, NumText: 1200 * mult, NumUnlabeledImage: 600 * mult, NumHandLabelPool: 100, NumTest: 100}
+	sc, err := p.CurateStreamed(context.Background(), w, task, cfg, StreamOptions{
+		Dir: t.TempDir(), ChunkSize: 256, GraphWindow: 256, ChunkHook: probe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Close()
+	return peak
+}
+
+// TestCurateStreamedMemoryCeiling is the scale gate from the issue: growing
+// the corpus 10x at a fixed chunk size and graph window must leave the heap
+// high-water mark essentially flat — the streamed path's memory is bounded
+// by configuration, not corpus size. The generous slack absorbs the real
+// O(n) residue (int8 labels, vote bytes, float64 probs) and GC jitter while
+// still failing hard if any stage silently materializes the corpus.
+func TestCurateStreamedMemoryCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	small := streamedPeakHeap(t, 1)
+	big := streamedPeakHeap(t, 10)
+	t.Logf("peak live heap: %d KiB at 1x, %d KiB at 10x", small>>10, big>>10)
+	if big > 2*small+32<<20 {
+		t.Errorf("heap high-water grew from %d KiB to %d KiB over a 10x corpus; streamed memory is not flat",
+			small>>10, big>>10)
+	}
+}
+
+// TestScaleSmokeStreamed is the `make scale-smoke` gate: a 10^5-entity
+// streamed curation driven to completion through repeated injected commit
+// crashes. An internal/faulty schedule decides deterministically which
+// store commits die; every crash aborts the run mid-ingest, and the next
+// attempt resumes from the last committed chunk. The run must finish within
+// a bounded number of attempts with the corpus fully ingested and a sane
+// weak-supervision report — proving crash recovery composes with scale, not
+// just with the small fixtures above. Opt-in via CROSSMODAL_SCALE_SMOKE=1
+// (it streams 100k points; see the Makefile target, which also turns on
+// -race).
+func TestScaleSmokeStreamed(t *testing.T) {
+	if os.Getenv("CROSSMODAL_SCALE_SMOKE") == "" {
+		t.Skip("scale smoke: set CROSSMODAL_SCALE_SMOKE=1 or run `make scale-smoke`")
+	}
+	entities := 100_000
+	if s := os.Getenv("CROSSMODAL_SCALE_N"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1000 {
+			t.Fatalf("bad CROSSMODAL_SCALE_N %q", s)
+		}
+		entities = n
+	}
+	nText := entities * 3 / 5
+	nImage := entities - nText
+	cfg := synth.DatasetConfig{Seed: 53, NumText: nText, NumUnlabeledImage: nImage, NumHandLabelPool: 500, NumTest: 500}
+
+	opts := streamOptions()
+	opts.MaxGraphSeeds = 600
+	opts.GraphDevNodes = 200
+	opts.Mining.NumericQuantiles = 0 // quantile candidate buffers are O(corpus)
+	p := newStreamPipeline(t, opts)
+	_, w, task := streamEnv(t)
+
+	// Deterministic crash plan: each commit is a "call" to the faulty
+	// schedule, keyed by the target path, with per-path attempt ordinals so
+	// a commit that died once succeeds on a later attempt instead of
+	// wedging the run forever.
+	sched := faulty.Schedule{Seed: 7, ErrorRate: 0.02}
+	attempts := make(map[string]int)
+	var crashes int
+	hook := func(op, path string) error {
+		a := attempts[path]
+		attempts[path]++
+		if d := sched.Decide(xrand.Mix(uint64(len(path))^hashString(path)), op, a); d.Mode == faulty.ModeError {
+			crashes++
+			return fmt.Errorf("scale smoke: injected commit crash at %s %s: %w", op, path, faulty.ErrInjected)
+		}
+		return nil
+	}
+
+	dir := t.TempDir()
+	sopts := StreamOptions{Dir: dir, ChunkSize: 2048, GraphWindow: 2000, CommitHook: hook}
+	var sc *StreamedCuration
+	const maxAttempts = 30
+	attempt := 0
+	for ; attempt < maxAttempts; attempt++ {
+		var err error
+		sc, err = p.CurateStreamed(context.Background(), w, task, cfg, sopts)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, faulty.ErrInjected) {
+			t.Fatalf("attempt %d died on a non-injected error: %v", attempt, err)
+		}
+		sopts.Resume = true
+	}
+	if sc == nil {
+		t.Fatalf("did not complete within %d attempts (%d injected crashes)", maxAttempts, crashes)
+	}
+	defer sc.Close()
+	t.Logf("completed after %d attempts, %d injected commit crashes, %d+%d rows",
+		attempt+1, crashes, sc.Text.Rows(), sc.Image.Rows())
+	if crashes == 0 {
+		t.Error("crash injection never fired; the smoke exercised nothing")
+	}
+	if sc.Text.Rows() != nText || sc.Image.Rows() != nImage {
+		t.Fatalf("ingested %d text / %d image rows, want %d / %d", sc.Text.Rows(), sc.Image.Rows(), nText, nImage)
+	}
+	if len(sc.ProbLabels) != nImage || len(sc.Covered) != nImage {
+		t.Fatalf("curation shape: %d probs, %d covered, want %d", len(sc.ProbLabels), len(sc.Covered), nImage)
+	}
+	if c := sc.Report.WSCoverage; c <= 0 || c > 1 {
+		t.Errorf("ws coverage %v out of range", c)
+	}
+	if sc.Report.LFCount <= 0 {
+		t.Errorf("no LFs mined at scale")
+	}
+}
+
+// hashString folds a path into a seed for the fault schedule.
+func hashString(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// TestCurateStreamedChunkInvariance: the curation must not depend on the
+// chunk size, including sizes that do not divide any corpus.
+func TestCurateStreamedChunkInvariance(t *testing.T) {
+	opts := streamOptions()
+	want := runStreamed(t, opts, StreamOptions{Dir: t.TempDir(), ChunkSize: 128})
+	for _, chunk := range []int{97, 400} {
+		t.Run(fmt.Sprintf("chunk=%d", chunk), func(t *testing.T) {
+			got := runStreamed(t, opts, StreamOptions{Dir: t.TempDir(), ChunkSize: chunk})
+			streamedEqual(t, got, want)
+		})
+	}
+}

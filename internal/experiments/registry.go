@@ -134,6 +134,21 @@ func Manifest() []Experiment {
 			},
 		},
 		{
+			Name:  "streamscale",
+			Title: "Streaming curation at scale — disk-backed vs in-memory",
+			Run: func(ctx context.Context, w io.Writer, s *Suite, tasks []string) error {
+				res, err := s.StreamScale(ctx, tasks[0])
+				if err != nil {
+					return err
+				}
+				RenderStreamScale(w, res)
+				if !res.BitIdentical {
+					return fmt.Errorf("experiments: streamed curation diverged from in-memory on %s", res.Task)
+				}
+				return nil
+			},
+		},
+		{
 			Name:  "rawvsfeat",
 			Title: "§6.6 — feature space vs raw embedding",
 			Run: func(ctx context.Context, w io.Writer, s *Suite, tasks []string) error {

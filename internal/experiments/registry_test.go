@@ -12,8 +12,8 @@ import (
 
 func TestManifestShape(t *testing.T) {
 	m := Manifest()
-	if len(m) != 10 {
-		t.Fatalf("manifest has %d experiments, want 10", len(m))
+	if len(m) != 11 {
+		t.Fatalf("manifest has %d experiments, want 11", len(m))
 	}
 	seen := make(map[string]bool)
 	for _, e := range m {

@@ -1,0 +1,90 @@
+package feature
+
+import (
+	"math"
+	"testing"
+
+	"crossmodal/internal/xrand"
+)
+
+// TestScalesAccumMatchesFitScales: the chunked accumulator must reproduce
+// FitScales to the last bit regardless of chunk size, including features
+// with missing values, a never-observed feature, and a zero-spread feature.
+func TestScalesAccumMatchesFitScales(t *testing.T) {
+	schema := MustSchema(
+		Def{Name: "a", Kind: Numeric},
+		Def{Name: "b", Kind: Numeric},
+		Def{Name: "never", Kind: Numeric},
+		Def{Name: "const", Kind: Numeric},
+		Def{Name: "cat", Kind: Categorical},
+	)
+	rng := xrand.New(99)
+	vecs := make([]*Vector, 501)
+	for i := range vecs {
+		v := NewVector(schema)
+		if i%3 != 0 {
+			v.MustSet("a", NumericValue(rng.NormFloat64()*7+3))
+		}
+		if i%7 != 0 {
+			v.MustSet("b", NumericValue(rng.Float64()*1e-9))
+		}
+		v.MustSet("const", NumericValue(2.5))
+		if i%2 == 0 {
+			v.MustSet("cat", CategoricalValue("x"))
+		}
+		vecs[i] = v
+	}
+	want := FitScales(schema, vecs)
+	if want["never"] != 1 || want["const"] != 1 {
+		t.Fatalf("FitScales degenerate handling changed: %v", want)
+	}
+
+	for _, chunk := range []int{1, 17, 100, 1000} {
+		acc := NewScalesAccum(schema)
+		for lo := 0; lo < len(vecs); lo += chunk {
+			hi := lo + chunk
+			if hi > len(vecs) {
+				hi = len(vecs)
+			}
+			acc.AddMeans(vecs[lo:hi])
+		}
+		acc.FinishMeans()
+		for lo := 0; lo < len(vecs); lo += chunk {
+			hi := lo + chunk
+			if hi > len(vecs) {
+				hi = len(vecs)
+			}
+			acc.AddDevs(vecs[lo:hi])
+		}
+		got := acc.Scales()
+		if len(got) != len(want) {
+			t.Fatalf("chunk=%d: %d scales, want %d", chunk, len(got), len(want))
+		}
+		for name, w := range want {
+			if math.Float64bits(got[name]) != math.Float64bits(w) {
+				t.Fatalf("chunk=%d: scale %q = %v (%#x), want %v (%#x)",
+					chunk, name, got[name], math.Float64bits(got[name]), w, math.Float64bits(w))
+			}
+		}
+	}
+}
+
+func TestScalesAccumPhaseDiscipline(t *testing.T) {
+	schema := MustSchema(Def{Name: "a", Kind: Numeric})
+	acc := NewScalesAccum(schema)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s out of phase did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("AddDevs", func() { acc.AddDevs(nil) })
+	mustPanic("Scales", func() { _ = acc.Scales() })
+	acc.FinishMeans()
+	mustPanic("AddMeans", func() { acc.AddMeans(nil) })
+	mustPanic("FinishMeans", func() { acc.FinishMeans() })
+	_ = acc.Scales()
+}

@@ -1,0 +1,466 @@
+// Package disk is the columnar, mmap-backed feature store that lets the
+// curation pipeline run at corpus sizes that do not fit in RAM (ROADMAP
+// item 1: the paper's Expander-scale deployment curates 18–26M text and
+// ~7.4M image points; our in-memory slices top out around 10⁵).
+//
+// A store is a directory of shard segment files. Rows are routed to shards
+// by entity-hash (splitmix64 of the point ID), and writes are append-only:
+// the pipeline appends one *chunk* of rows at a time, which fans out into
+// at most one new segment file per shard. Each segment is written to a
+// temp file and atomically renamed into place; a chunk becomes durable
+// only when its commit marker (`cNNNNNN.ok`) is renamed last. A crash at
+// any point therefore leaves either a fully committed chunk or loose
+// un-marked files, which Open detects and quarantines — the same crash
+// model the fusion artifact format uses, extended from one file to a
+// multi-file commit.
+//
+// Segment layout (all integers little-endian), mirroring the hardened
+// XMODART1 artifact format — versioned magic, length validation before any
+// allocation, CRC over the payload:
+//
+//	magic      [8]byte  "XMODFST1"
+//	version    uint32   format version (1)
+//	shard      uint32   shard index this segment belongs to
+//	nshards    uint32   shard count of the owning store
+//	chunk      uint32   chunk sequence number
+//	rows       uint32   row count
+//	schemaHash uint64   FNV-64a fingerprint of the feature schema
+//	payloadLen uint64   byte length of the columnar payload
+//	headerCRC  uint32   IEEE CRC-32 of the 44 header bytes above
+//	payload    [payloadLen]byte
+//	payloadCRC uint32   IEEE CRC-32 of the payload
+//
+// The payload is columnar:
+//
+//	ids    rows × uint64   point IDs
+//	ords   rows × uint32   row's ordinal within its chunk (restores append order)
+//	labels rows × int8     ground-truth labels (diagnostics; pipelines gate reads)
+//	then, per schema feature in order:
+//	  presence bitmap, ceil(rows/8) bytes (bit r set ⇒ row r non-missing)
+//	  Numeric:   rows × uint64 raw float64 bits
+//	  Embedding: rows × dim × uint64 raw float64 bits
+//	  Categorical:
+//	    dictCount uint32, then dictCount × (uint16 len + bytes) — the
+//	      segment-local dictionary, in first-appearance order
+//	    offsets (rows+1) × uint32 into the local-ID array
+//	    localIDs offsets[rows] × uint32 — per-row category IDs in the
+//	      value's original order, duplicates preserved
+//
+// Floats round-trip as raw bits and categorical values keep their exact
+// order and multiplicity, so a vector read back is bit-identical to the
+// one written — the property the golden streamed-pipeline gate depends on.
+// Interned-categorical encoding: the per-segment dictionary plus local IDs
+// is exactly the shape feature.SimKernel consumes after re-interning at
+// materialization (Vector.Set).
+package disk
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"math"
+
+	"crossmodal/internal/feature"
+)
+
+const (
+	formatVersion = 1
+	headerSize    = 48
+
+	// Hard caps, validated before any size-driven allocation so a corrupt
+	// or adversarial header cannot force a huge allocation (the fusion.Load
+	// progressive-read discipline).
+	maxRows        = 1 << 26
+	maxPayload     = 1<<31 - 1
+	maxDictEntries = 1 << 22
+	maxCatIDs      = 1 << 28
+)
+
+var segmentMagic = [8]byte{'X', 'M', 'O', 'D', 'F', 'S', 'T', '1'}
+
+// ErrCorrupt tags every validation failure so callers can distinguish a
+// damaged file from an I/O error.
+type ErrCorrupt struct {
+	Path   string
+	Detail string
+}
+
+func (e *ErrCorrupt) Error() string {
+	if e.Path == "" {
+		return "disk: corrupt segment: " + e.Detail
+	}
+	return fmt.Sprintf("disk: corrupt segment %s: %s", e.Path, e.Detail)
+}
+
+func corrupt(format string, args ...any) error {
+	return &ErrCorrupt{Detail: fmt.Sprintf(format, args...)}
+}
+
+// SchemaHash fingerprints a feature schema (names, kinds, sets, dims,
+// servability, in order) so a store refuses rows written under a different
+// schema instead of mis-decoding columns.
+func SchemaHash(schema *feature.Schema) uint64 {
+	h := fnv.New64a()
+	var scratch [8]byte
+	for i := 0; i < schema.Len(); i++ {
+		d := schema.Def(i)
+		h.Write([]byte(d.Name))
+		h.Write([]byte{0, byte(d.Kind)})
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(d.Dim))
+		h.Write(scratch[:4])
+		h.Write([]byte(d.Set))
+		sv := byte(0)
+		if d.Servable {
+			sv = 1
+		}
+		h.Write([]byte{0, sv})
+	}
+	return h.Sum64()
+}
+
+// header is the decoded fixed-size segment header.
+type header struct {
+	Shard      int
+	NShards    int
+	Chunk      int
+	Rows       int
+	SchemaHash uint64
+	PayloadLen int
+}
+
+// putHeader encodes h into a headerSize byte slice, including the header
+// CRC.
+func putHeader(h header) []byte {
+	buf := make([]byte, headerSize)
+	copy(buf, segmentMagic[:])
+	le := binary.LittleEndian
+	le.PutUint32(buf[8:], formatVersion)
+	le.PutUint32(buf[12:], uint32(h.Shard))
+	le.PutUint32(buf[16:], uint32(h.NShards))
+	le.PutUint32(buf[20:], uint32(h.Chunk))
+	le.PutUint32(buf[24:], uint32(h.Rows))
+	le.PutUint64(buf[28:], h.SchemaHash)
+	le.PutUint64(buf[36:], uint64(h.PayloadLen))
+	le.PutUint32(buf[44:], crc32.ChecksumIEEE(buf[:44]))
+	return buf
+}
+
+// parseHeader validates the fixed header. It reads only the first
+// headerSize bytes and never allocates proportionally to any length field.
+func parseHeader(data []byte) (header, error) {
+	var h header
+	if len(data) < headerSize {
+		return h, corrupt("file too short for header: %d bytes", len(data))
+	}
+	if !bytes.Equal(data[:8], segmentMagic[:]) {
+		return h, corrupt("bad magic %q", data[:8])
+	}
+	le := binary.LittleEndian
+	if got := le.Uint32(data[44:]); got != crc32.ChecksumIEEE(data[:44]) {
+		return h, corrupt("header CRC mismatch")
+	}
+	if v := le.Uint32(data[8:]); v != formatVersion {
+		return h, corrupt("version %d, want %d", v, formatVersion)
+	}
+	h.Shard = int(le.Uint32(data[12:]))
+	h.NShards = int(le.Uint32(data[16:]))
+	h.Chunk = int(le.Uint32(data[20:]))
+	h.Rows = int(le.Uint32(data[24:]))
+	h.SchemaHash = le.Uint64(data[28:])
+	payloadLen := le.Uint64(data[36:])
+	if h.NShards <= 0 || h.Shard < 0 || h.Shard >= h.NShards {
+		return h, corrupt("shard %d of %d out of range", h.Shard, h.NShards)
+	}
+	if h.Rows <= 0 || h.Rows > maxRows {
+		return h, corrupt("implausible row count %d", h.Rows)
+	}
+	if payloadLen == 0 || payloadLen > maxPayload {
+		return h, corrupt("implausible payload length %d", payloadLen)
+	}
+	h.PayloadLen = int(payloadLen)
+	want := headerSize + h.PayloadLen + 4
+	if len(data) != want {
+		return h, corrupt("file is %d bytes, header implies %d", len(data), want)
+	}
+	return h, nil
+}
+
+// colMeta locates one feature's column inside a parsed payload. Offsets
+// are relative to the payload start.
+type colMeta struct {
+	kind feature.Kind
+	dim  int
+	pres int // presence bitmap offset
+	data int // numeric/embedding data, or the cat offsets array
+	ids  int // categorical local-ID array offset
+	dict []string
+}
+
+// payloadLayout walks and validates the columnar payload, returning the
+// column directory. Every read is bounds-checked against the actual byte
+// count, so lying lengths fail cleanly; allocations (the dictionaries) are
+// bounded by the bytes actually present in the file.
+func payloadLayout(payload []byte, schema *feature.Schema, rows int) ([]colMeta, error) {
+	cur := cursor{b: payload}
+	cur.skip(8 * rows) // ids
+	cur.skip(4 * rows) // ords
+	cur.skip(rows)     // labels
+	bitmapLen := (rows + 7) / 8
+	cols := make([]colMeta, schema.Len())
+	for i := range cols {
+		d := schema.Def(i)
+		c := &cols[i]
+		c.kind, c.dim = d.Kind, d.Dim
+		c.pres = cur.off
+		cur.skip(bitmapLen)
+		switch d.Kind {
+		case feature.Numeric:
+			c.data = cur.off
+			cur.skip(8 * rows)
+		case feature.Embedding:
+			c.data = cur.off
+			cur.skip(8 * rows * d.Dim)
+		case feature.Categorical:
+			dictCount := int(cur.u32())
+			if cur.err != nil {
+				return nil, cur.err
+			}
+			if dictCount > maxDictEntries {
+				return nil, corrupt("feature %q: implausible dictionary size %d", d.Name, dictCount)
+			}
+			// Each entry occupies at least its 2-byte length prefix, so a
+			// dictCount the remaining bytes cannot hold is a lie — reject it
+			// before sizing the dictionary from it.
+			if dictCount > (len(payload)-cur.off)/2 {
+				return nil, corrupt("feature %q: dictionary size %d exceeds remaining payload", d.Name, dictCount)
+			}
+			c.dict = make([]string, dictCount)
+			for k := 0; k < dictCount; k++ {
+				n := int(cur.u16())
+				s := cur.bytes(n)
+				if cur.err != nil {
+					return nil, cur.err
+				}
+				c.dict[k] = string(s)
+			}
+			c.data = cur.off
+			cur.skip(4 * (rows + 1))
+			if cur.err != nil {
+				return nil, cur.err
+			}
+			// Offsets must be monotone and end exactly at the ID count.
+			le := binary.LittleEndian
+			prev := uint32(0)
+			for r := 0; r <= rows; r++ {
+				o := le.Uint32(payload[c.data+4*r:])
+				if o < prev {
+					return nil, corrupt("feature %q: offsets not monotone at row %d", d.Name, r)
+				}
+				prev = o
+			}
+			total := int(prev)
+			if total > maxCatIDs {
+				return nil, corrupt("feature %q: implausible category-ID count %d", d.Name, total)
+			}
+			if le.Uint32(payload[c.data:]) != 0 {
+				return nil, corrupt("feature %q: offsets do not start at 0", d.Name)
+			}
+			c.ids = cur.off
+			cur.skip(4 * total)
+			if cur.err != nil {
+				return nil, cur.err
+			}
+			for k := 0; k < total; k++ {
+				if id := le.Uint32(payload[c.ids+4*k:]); int(id) >= dictCount {
+					return nil, corrupt("feature %q: category ID %d out of dictionary range %d", d.Name, id, dictCount)
+				}
+			}
+		default:
+			return nil, corrupt("feature %q: unknown kind %d", d.Name, int(d.Kind))
+		}
+		if cur.err != nil {
+			return nil, cur.err
+		}
+	}
+	if cur.off != len(payload) {
+		return nil, corrupt("payload has %d trailing bytes", len(payload)-cur.off)
+	}
+	return cols, nil
+}
+
+// cursor is a bounds-checked forward reader over a payload. All reads
+// after the first failure are no-ops with err set, so decode loops need a
+// single check per batch of reads.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = corrupt(format, args...)
+	}
+}
+
+func (c *cursor) skip(n int) {
+	if c.err != nil {
+		return
+	}
+	if n < 0 || c.off+n > len(c.b) || c.off+n < c.off {
+		c.fail("truncated payload: need %d bytes at offset %d of %d", n, c.off, len(c.b))
+		return
+	}
+	c.off += n
+}
+
+func (c *cursor) bytes(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	start := c.off
+	c.skip(n)
+	if c.err != nil {
+		return nil
+	}
+	return c.b[start : start+n]
+}
+
+func (c *cursor) u16() uint16 {
+	b := c.bytes(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (c *cursor) u32() uint32 {
+	b := c.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// encodeSegment serializes one shard's slice of a chunk. ids, ords,
+// labels, and vecs are parallel; every vector must carry schema.
+func encodeSegment(schema *feature.Schema, schemaHash uint64, shard, nshards, chunk int, ids []uint64, ords []uint32, labels []int8, vecs []*feature.Vector) ([]byte, error) {
+	rows := len(vecs)
+	if rows == 0 || rows > maxRows {
+		return nil, fmt.Errorf("disk: segment row count %d out of range", rows)
+	}
+	var payload bytes.Buffer
+	var scratch [8]byte
+	le := binary.LittleEndian
+	for _, id := range ids {
+		le.PutUint64(scratch[:], id)
+		payload.Write(scratch[:8])
+	}
+	for _, o := range ords {
+		le.PutUint32(scratch[:4], o)
+		payload.Write(scratch[:4])
+	}
+	for _, l := range labels {
+		payload.WriteByte(byte(l))
+	}
+	bitmap := make([]byte, (rows+7)/8)
+	for i := 0; i < schema.Len(); i++ {
+		d := schema.Def(i)
+		for b := range bitmap {
+			bitmap[b] = 0
+		}
+		for r, v := range vecs {
+			if !v.At(i).Missing {
+				bitmap[r/8] |= 1 << (r % 8)
+			}
+		}
+		payload.Write(bitmap)
+		switch d.Kind {
+		case feature.Numeric:
+			for _, v := range vecs {
+				val := v.At(i)
+				var bits uint64
+				if !val.Missing {
+					bits = math.Float64bits(val.Num)
+				}
+				le.PutUint64(scratch[:], bits)
+				payload.Write(scratch[:8])
+			}
+		case feature.Embedding:
+			zero := make([]byte, 8*d.Dim)
+			for _, v := range vecs {
+				val := v.At(i)
+				if val.Missing {
+					payload.Write(zero)
+					continue
+				}
+				if len(val.Vec) != d.Dim {
+					return nil, fmt.Errorf("disk: feature %q: embedding dim %d, schema wants %d", d.Name, len(val.Vec), d.Dim)
+				}
+				for _, x := range val.Vec {
+					le.PutUint64(scratch[:], math.Float64bits(x))
+					payload.Write(scratch[:8])
+				}
+			}
+		case feature.Categorical:
+			dictIdx := make(map[string]uint32)
+			var dict []string
+			offsets := make([]uint32, 0, rows+1)
+			var localIDs []uint32
+			offsets = append(offsets, 0)
+			for _, v := range vecs {
+				val := v.At(i)
+				if !val.Missing {
+					for _, cat := range val.Categories {
+						id, ok := dictIdx[cat]
+						if !ok {
+							id = uint32(len(dict))
+							dictIdx[cat] = id
+							dict = append(dict, cat)
+						}
+						localIDs = append(localIDs, id)
+					}
+				}
+				offsets = append(offsets, uint32(len(localIDs)))
+			}
+			if len(dict) > maxDictEntries {
+				return nil, fmt.Errorf("disk: feature %q: dictionary overflows %d entries", d.Name, maxDictEntries)
+			}
+			if len(localIDs) > maxCatIDs {
+				return nil, fmt.Errorf("disk: feature %q: category IDs overflow %d", d.Name, maxCatIDs)
+			}
+			le.PutUint32(scratch[:4], uint32(len(dict)))
+			payload.Write(scratch[:4])
+			for _, s := range dict {
+				if len(s) > math.MaxUint16 {
+					return nil, fmt.Errorf("disk: feature %q: category longer than %d bytes", d.Name, math.MaxUint16)
+				}
+				le.PutUint16(scratch[:2], uint16(len(s)))
+				payload.Write(scratch[:2])
+				payload.WriteString(s)
+			}
+			for _, o := range offsets {
+				le.PutUint32(scratch[:4], o)
+				payload.Write(scratch[:4])
+			}
+			for _, id := range localIDs {
+				le.PutUint32(scratch[:4], id)
+				payload.Write(scratch[:4])
+			}
+		}
+	}
+	if payload.Len() > maxPayload {
+		return nil, fmt.Errorf("disk: segment payload %d bytes exceeds cap", payload.Len())
+	}
+	out := make([]byte, 0, headerSize+payload.Len()+4)
+	out = append(out, putHeader(header{
+		Shard: shard, NShards: nshards, Chunk: chunk,
+		Rows: rows, SchemaHash: schemaHash, PayloadLen: payload.Len(),
+	})...)
+	out = append(out, payload.Bytes()...)
+	le.PutUint32(scratch[:4], crc32.ChecksumIEEE(payload.Bytes()))
+	out = append(out, scratch[:4]...)
+	return out, nil
+}

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package disk
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without mmap support falls back to reading the file
+// into memory; the accessors are byte-slice based either way.
+func mapFile(f *os.File, size int) ([]byte, func() error, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,20 @@
+//go:build unix
+
+package disk
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps f read-only. The returned release func unmaps; the caller
+// may close f immediately after mapping (the mapping keeps its own
+// reference). Zero-length files cannot be mapped and are rejected by the
+// header parse before this is called.
+func mapFile(f *os.File, size int) ([]byte, func() error, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,193 @@
+package disk
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"crossmodal/internal/feature"
+)
+
+// Segment is one immutable, mmap-backed shard segment. Row accessors
+// perform no allocations and no copies: they decode little-endian values
+// straight out of the mapped payload (asserted by AllocsPerRun tests), so
+// scans over millions of rows cost only the page-ins.
+type Segment struct {
+	path    string
+	shard   int
+	chunk   int
+	rows    int
+	payload []byte
+	cols    []colMeta
+	unmap   func() error
+}
+
+// openSegment maps and validates one segment file against schema. With
+// verifyCRC the payload checksum is verified once at open (scans then
+// trust the mapping); structural validation — magic, version, schema hash,
+// column bounds, dictionary ranges — always runs.
+func openSegment(path string, schema *feature.Schema, schemaHash uint64, verifyCRC bool) (seg *Segment, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() > headerSize+maxPayload+4 {
+		return nil, &ErrCorrupt{Path: path, Detail: "file exceeds maximum segment size"}
+	}
+	if st.Size() == 0 {
+		return nil, &ErrCorrupt{Path: path, Detail: "zero-length segment"}
+	}
+	data, unmap, err := mapFile(f, int(st.Size()))
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if err != nil {
+			unmap()
+		}
+	}()
+	h, err := parseHeader(data)
+	if err != nil {
+		err.(*ErrCorrupt).Path = path
+		return nil, err
+	}
+	if h.SchemaHash != schemaHash {
+		return nil, &ErrCorrupt{Path: path, Detail: "schema hash mismatch"}
+	}
+	payload := data[headerSize : headerSize+h.PayloadLen]
+	if verifyCRC {
+		want := binary.LittleEndian.Uint32(data[headerSize+h.PayloadLen:])
+		if got := crc32.ChecksumIEEE(payload); got != want {
+			return nil, &ErrCorrupt{Path: path, Detail: "payload CRC mismatch"}
+		}
+	}
+	cols, err := payloadLayout(payload, schema, h.Rows)
+	if err != nil {
+		err.(*ErrCorrupt).Path = path
+		return nil, err
+	}
+	return &Segment{
+		path:    path,
+		shard:   h.Shard,
+		chunk:   h.Chunk,
+		rows:    h.Rows,
+		payload: payload,
+		cols:    cols,
+		unmap:   unmap,
+	}, nil
+}
+
+// Close unmaps the segment.
+func (s *Segment) Close() error { return s.unmap() }
+
+// Rows returns the segment's row count.
+func (s *Segment) Rows() int { return s.rows }
+
+// Shard returns the shard index the segment belongs to.
+func (s *Segment) Shard() int { return s.shard }
+
+// Chunk returns the chunk sequence number the segment belongs to.
+func (s *Segment) Chunk() int { return s.chunk }
+
+// Path returns the segment's file path.
+func (s *Segment) Path() string { return s.path }
+
+// ID returns row r's point ID.
+func (s *Segment) ID(r int) uint64 {
+	return binary.LittleEndian.Uint64(s.payload[8*r:])
+}
+
+// Ord returns row r's ordinal within its chunk (its position in the
+// original append order).
+func (s *Segment) Ord(r int) int {
+	return int(binary.LittleEndian.Uint32(s.payload[8*s.rows+4*r:]))
+}
+
+// Label returns row r's stored ground-truth label.
+func (s *Segment) Label(r int) int8 {
+	return int8(s.payload[12*s.rows+r])
+}
+
+// Present reports whether feature col is non-missing on row r.
+func (s *Segment) Present(col, r int) bool {
+	return s.payload[s.cols[col].pres+r/8]&(1<<(r%8)) != 0
+}
+
+// Numeric returns row r's value of numeric feature col with its exact
+// written bits. The caller must have checked Present.
+func (s *Segment) Numeric(col, r int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(s.payload[s.cols[col].data+8*r:]))
+}
+
+// EmbeddingInto appends row r's embedding for feature col to buf and
+// returns the extended slice; with sufficient capacity it allocates
+// nothing.
+func (s *Segment) EmbeddingInto(col, r int, buf []float64) []float64 {
+	c := &s.cols[col]
+	base := c.data + 8*c.dim*r
+	for k := 0; k < c.dim; k++ {
+		buf = append(buf, math.Float64frombits(binary.LittleEndian.Uint64(s.payload[base+8*k:])))
+	}
+	return buf
+}
+
+// NumCategories returns how many category entries row r carries for
+// categorical feature col (duplicates included).
+func (s *Segment) NumCategories(col, r int) int {
+	c := &s.cols[col]
+	le := binary.LittleEndian
+	return int(le.Uint32(s.payload[c.data+4*(r+1):]) - le.Uint32(s.payload[c.data+4*r:]))
+}
+
+// Category returns the k'th category string of row r for feature col, in
+// the value's original order. The string aliases the segment's decoded
+// dictionary; no per-call allocation.
+func (s *Segment) Category(col, r, k int) string {
+	c := &s.cols[col]
+	le := binary.LittleEndian
+	start := int(le.Uint32(s.payload[c.data+4*r:]))
+	id := le.Uint32(s.payload[c.ids+4*(start+k):])
+	return c.dict[id]
+}
+
+// Dict returns feature col's segment-local dictionary in first-appearance
+// order. Callers must not mutate it.
+func (s *Segment) Dict(col int) []string { return s.cols[col].dict }
+
+// VectorAt materializes row r as a feature vector under schema (which must
+// be the schema the segment was validated against). Values round-trip
+// bit-exactly: float bits, category order, and duplicates are preserved.
+func (s *Segment) VectorAt(schema *feature.Schema, r int) *feature.Vector {
+	v := feature.NewVector(schema)
+	for col := 0; col < schema.Len(); col++ {
+		if !s.Present(col, r) {
+			continue
+		}
+		d := schema.Def(col)
+		var val feature.Value
+		switch d.Kind {
+		case feature.Numeric:
+			val = feature.NumericValue(s.Numeric(col, r))
+		case feature.Embedding:
+			val = feature.EmbeddingValue(s.EmbeddingInto(col, r, make([]float64, 0, d.Dim)))
+		case feature.Categorical:
+			if n := s.NumCategories(col, r); n > 0 {
+				cats := make([]string, n)
+				for k := range cats {
+					cats[k] = s.Category(col, r, k)
+				}
+				val = feature.CategoricalValue(cats...)
+			} else {
+				val = feature.CategoricalValue()
+			}
+		}
+		v.MustSet(d.Name, val)
+	}
+	return v
+}

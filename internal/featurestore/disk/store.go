@@ -1,0 +1,479 @@
+package disk
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"crossmodal/internal/feature"
+	"crossmodal/internal/trace"
+	"crossmodal/internal/xrand"
+)
+
+// Options configures a store.
+type Options struct {
+	// Shards is the shard count rows are hash-routed across (default 8).
+	// Segments recorded with a different count are rejected as corrupt.
+	Shards int
+	// SkipCRC disables payload checksum verification at segment open
+	// (structural validation still runs). Scans over committed data the
+	// same process just wrote can skip the extra pass.
+	SkipCRC bool
+	// CommitHook, when set, runs immediately before each atomic rename
+	// during AppendChunk: op is "segment" or "marker", path the final
+	// destination. Returning an error aborts the append mid-commit — the
+	// crash-injection seam the fault-tolerance suite drives (the disk
+	// analogue of internal/faulty's service-call injection).
+	CommitHook func(op, path string) error
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	return o
+}
+
+// chunkSet is one committed chunk's open segments (only shards that
+// received rows have one), ascending by shard.
+type chunkSet struct {
+	seq  int
+	segs []*Segment
+	rows int
+}
+
+// Store is an append-only, chunk-committed collection of shard segments
+// under one directory. Safe for concurrent reads; AppendChunk callers must
+// serialize among themselves (the streaming pipeline appends from one
+// goroutine).
+type Store struct {
+	dir        string
+	schema     *feature.Schema
+	schemaHash uint64
+	opts       Options
+
+	mu          sync.RWMutex
+	chunks      []*chunkSet
+	rows        int
+	quarantined []string
+}
+
+// segName returns the segment filename for (chunk, shard).
+func segName(chunk, shard int) string {
+	return fmt.Sprintf("c%06d-s%03d.seg", chunk, shard)
+}
+
+// markerName returns the commit-marker filename for a chunk.
+func markerName(chunk int) string {
+	return fmt.Sprintf("c%06d.ok", chunk)
+}
+
+// shardOf routes a point ID to its shard by entity hash.
+func shardOf(id uint64, shards int) int {
+	return int(xrand.Mix(id) % uint64(shards))
+}
+
+// Open opens (creating if needed) the store at dir for schema.
+//
+// Recovery model: a chunk exists iff its commit marker does, and the
+// committed prefix is the longest contiguous run of valid chunks from 0.
+// Everything else on disk is debris from a crash or corruption — un-marked
+// segments (torn writes, partial multi-shard renames), zero-length or
+// CRC-failing segments, markers past a gap — and is quarantined: renamed
+// to "<name>.quarantined" so it can never be mistaken for data, while
+// remaining available for inspection. Open never fails because of debris;
+// Quarantined reports what was set aside, and appends resume from the
+// first uncommitted chunk.
+func Open(dir string, schema *feature.Schema, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if schema == nil || schema.Len() == 0 {
+		return nil, fmt.Errorf("disk: store needs a non-empty schema")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	_, span := trace.Start(context.Background(), "diskstore.open")
+	defer span.End()
+	s := &Store{dir: dir, schema: schema, schemaHash: SchemaHash(schema), opts: opts}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	markers := make(map[int]bool)
+	segFiles := make(map[int][]string) // chunk -> segment filenames
+	var stray []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		var chunk, shard int
+		switch {
+		case parseName(name, "c%06d-s%03d.seg", &chunk, &shard):
+			segFiles[chunk] = append(segFiles[chunk], name)
+		case parseName(name, "c%06d.ok", &chunk):
+			markers[chunk] = true
+		case filepath.Ext(name) == ".quarantined":
+			// Already set aside by a previous recovery.
+		default:
+			stray = append(stray, name)
+		}
+	}
+
+	// Walk the contiguous committed prefix, opening and validating each
+	// chunk's segments. The first missing marker or invalid segment ends
+	// the prefix; the broken chunk and everything after it is debris.
+	committed := 0
+	for markers[committed] {
+		names := segFiles[committed]
+		sort.Strings(names)
+		cs := &chunkSet{seq: committed}
+		ok := len(names) > 0
+		for _, name := range names {
+			seg, err := openSegment(filepath.Join(dir, name), schema, s.schemaHash, !opts.SkipCRC)
+			if err != nil {
+				ok = false
+				break
+			}
+			if seg.Chunk() != committed || seg.Shard() >= opts.Shards || segName(seg.Chunk(), seg.Shard()) != name {
+				seg.Close()
+				ok = false
+				break
+			}
+			cs.segs = append(cs.segs, seg)
+			cs.rows += seg.Rows()
+		}
+		if !ok {
+			for _, seg := range cs.segs {
+				seg.Close()
+			}
+			break
+		}
+		s.chunks = append(s.chunks, cs)
+		s.rows += cs.rows
+		committed++
+	}
+
+	// Quarantine everything past the committed prefix.
+	for chunk, names := range segFiles {
+		if chunk >= committed {
+			stray = append(stray, names...)
+		}
+	}
+	for chunk := range markers {
+		if chunk >= committed {
+			stray = append(stray, markerName(chunk))
+		}
+	}
+	sort.Strings(stray)
+	for _, name := range stray {
+		src := filepath.Join(dir, name)
+		dst := src + ".quarantined"
+		if err := os.Rename(src, dst); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("disk: quarantine %s: %w", name, err)
+		}
+		s.quarantined = append(s.quarantined, dst)
+	}
+	span.SetInt("chunks", int64(committed))
+	span.SetInt("rows", int64(s.rows))
+	span.SetInt("quarantined", int64(len(s.quarantined)))
+	return s, nil
+}
+
+// parseName strictly matches name against a zero-padded Sprintf pattern:
+// the parsed values must render back to exactly name, so "c1-s2.seg" or
+// trailing garbage never passes as a segment.
+func parseName(name, pattern string, out ...*int) bool {
+	args := make([]any, len(out))
+	for i := range out {
+		args[i] = out[i]
+	}
+	n, err := fmt.Sscanf(name, pattern, args...)
+	if err != nil || n != len(out) {
+		return false
+	}
+	vals := make([]any, len(out))
+	for i := range out {
+		vals[i] = *out[i]
+	}
+	return fmt.Sprintf(pattern, vals...) == name
+}
+
+// Schema returns the store's schema.
+func (s *Store) Schema() *feature.Schema { return s.schema }
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Chunks returns the number of committed chunks.
+func (s *Store) Chunks() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.chunks)
+}
+
+// Rows returns the total committed row count.
+func (s *Store) Rows() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rows
+}
+
+// ChunkRows returns committed chunk seq's row count.
+func (s *Store) ChunkRows(seq int) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.chunks[seq].rows
+}
+
+// Quarantined returns the paths of files set aside during Open.
+func (s *Store) Quarantined() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.quarantined...)
+}
+
+// Close unmaps every open segment.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, cs := range s.chunks {
+		for _, seg := range cs.segs {
+			if err := seg.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	s.chunks = nil
+	s.rows = 0
+	return first
+}
+
+// AppendChunk routes one chunk of rows to shard segments and commits them
+// atomically: each segment lands via temp-file + rename, and the chunk's
+// commit marker is renamed into place only after every segment — a crash
+// anywhere leaves no committed partial chunk, and Open quarantines the
+// debris. Vectors must carry the store's schema; ids, labels, and vecs are
+// parallel and their append order is preserved by ScanChunks.
+func (s *Store) AppendChunk(ctx context.Context, ids []int, labels []int8, vecs []*feature.Vector) error {
+	if len(ids) != len(vecs) || len(labels) != len(vecs) {
+		return fmt.Errorf("disk: %d ids / %d labels / %d vectors", len(ids), len(labels), len(vecs))
+	}
+	if len(vecs) == 0 {
+		return fmt.Errorf("disk: empty chunk")
+	}
+	for _, v := range vecs {
+		if SchemaHash(v.Schema()) != s.schemaHash {
+			return fmt.Errorf("disk: vector schema does not match store schema")
+		}
+		break // all vectors of a featurized corpus share one schema object
+	}
+	_, span := trace.Start(ctx, "diskstore.append_chunk")
+	defer span.End()
+	seq := s.Chunks()
+
+	// Partition rows by entity hash, remembering each row's chunk ordinal.
+	type part struct {
+		ids    []uint64
+		ords   []uint32
+		labels []int8
+		vecs   []*feature.Vector
+	}
+	parts := make([]part, s.opts.Shards)
+	for r, id := range ids {
+		sh := shardOf(uint64(id), s.opts.Shards)
+		p := &parts[sh]
+		p.ids = append(p.ids, uint64(id))
+		p.ords = append(p.ords, uint32(r))
+		p.labels = append(p.labels, labels[r])
+		p.vecs = append(p.vecs, vecs[r])
+	}
+
+	var bytesOut int
+	written := make([]string, 0, s.opts.Shards)
+	for sh := range parts {
+		p := &parts[sh]
+		if len(p.vecs) == 0 {
+			continue
+		}
+		data, err := encodeSegment(s.schema, s.schemaHash, sh, s.opts.Shards, seq, p.ids, p.ords, p.labels, p.vecs)
+		if err != nil {
+			return err
+		}
+		final := filepath.Join(s.dir, segName(seq, sh))
+		if err := s.atomicWrite(final, data, "segment"); err != nil {
+			return err
+		}
+		written = append(written, final)
+		bytesOut += len(data)
+	}
+	// The marker commits the whole chunk; its content is irrelevant
+	// (rename atomicity is the commit), only its existence matters.
+	marker := filepath.Join(s.dir, markerName(seq))
+	if err := s.atomicWrite(marker, []byte("ok\n"), "marker"); err != nil {
+		return err
+	}
+
+	cs := &chunkSet{seq: seq}
+	for _, path := range written {
+		seg, err := openSegment(path, s.schema, s.schemaHash, false)
+		if err != nil {
+			for _, open := range cs.segs {
+				open.Close()
+			}
+			return err
+		}
+		cs.segs = append(cs.segs, seg)
+		cs.rows += seg.Rows()
+	}
+	s.mu.Lock()
+	s.chunks = append(s.chunks, cs)
+	s.rows += cs.rows
+	s.mu.Unlock()
+	span.Add("rows", int64(len(vecs)))
+	span.Add("bytes", int64(bytesOut))
+	return nil
+}
+
+// atomicWrite lands data at path via temp file + rename, running the
+// commit hook (fault seam) just before the rename.
+func (s *Store) atomicWrite(path string, data []byte, op string) (err error) {
+	f, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			os.Remove(tmp)
+		}
+	}()
+	if _, err = f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if s.opts.CommitHook != nil {
+		if err = s.opts.CommitHook(op, path); err != nil {
+			return fmt.Errorf("disk: commit hook (%s %s): %w", op, filepath.Base(path), err)
+		}
+	}
+	return os.Rename(tmp, path)
+}
+
+// ScanChunks streams every committed chunk in sequence order, handing fn
+// the chunk's rows in their original append order. The materialized slices
+// are freshly allocated per chunk and owned by fn; memory stays O(chunk),
+// never O(store).
+func (s *Store) ScanChunks(ctx context.Context, fn func(seq int, ids []int, labels []int8, vecs []*feature.Vector) error) error {
+	ctx, span := trace.Start(ctx, "diskstore.scan")
+	defer span.End()
+	n := s.Chunks()
+	var rows int
+	for seq := 0; seq < n; seq++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ids, labels, vecs, err := s.readChunk(seq)
+		if err != nil {
+			return err
+		}
+		rows += len(vecs)
+		if err := fn(seq, ids, labels, vecs); err != nil {
+			return err
+		}
+	}
+	span.Add("rows", int64(rows))
+	return nil
+}
+
+// readChunk materializes one committed chunk in append order.
+func (s *Store) readChunk(seq int) ([]int, []int8, []*feature.Vector, error) {
+	s.mu.RLock()
+	cs := s.chunks[seq]
+	s.mu.RUnlock()
+	ids := make([]int, cs.rows)
+	labels := make([]int8, cs.rows)
+	vecs := make([]*feature.Vector, cs.rows)
+	for _, seg := range cs.segs {
+		for r := 0; r < seg.Rows(); r++ {
+			ord := seg.Ord(r)
+			if ord < 0 || ord >= cs.rows || vecs[ord] != nil {
+				return nil, nil, nil, &ErrCorrupt{Path: seg.Path(), Detail: fmt.Sprintf("row ordinal %d invalid for chunk of %d rows", ord, cs.rows)}
+			}
+			ids[ord] = int(seg.ID(r))
+			labels[ord] = seg.Label(r)
+			vecs[ord] = seg.VectorAt(s.schema, r)
+		}
+	}
+	return ids, labels, vecs, nil
+}
+
+// Find materializes the vectors of the requested point IDs (those present
+// in the store). It scans segment ID columns — O(rows) integer reads, no
+// index — which is the right trade for the pipeline's only random-access
+// consumer, the few thousand sampled propagation seeds.
+func (s *Store) Find(ctx context.Context, ids []int) (map[int]*feature.Vector, error) {
+	want := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		want[uint64(id)] = true
+	}
+	out := make(map[int]*feature.Vector, len(ids))
+	s.mu.RLock()
+	chunks := s.chunks
+	s.mu.RUnlock()
+	for _, cs := range chunks {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for _, seg := range cs.segs {
+			for r := 0; r < seg.Rows(); r++ {
+				if id := seg.ID(r); want[id] {
+					out[int(id)] = seg.VectorAt(s.schema, r)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Labels returns every committed row's stored label in append order — the
+// cheap column read the streaming pipeline uses on resume, when vectors
+// are already on disk but the in-RAM label slice must be rebuilt.
+func (s *Store) Labels() ([]int8, error) {
+	s.mu.RLock()
+	chunks := s.chunks
+	total := s.rows
+	s.mu.RUnlock()
+	out := make([]int8, 0, total)
+	for _, cs := range chunks {
+		part := make([]int8, cs.rows)
+		for _, seg := range cs.segs {
+			for r := 0; r < seg.Rows(); r++ {
+				ord := seg.Ord(r)
+				if ord < 0 || ord >= cs.rows {
+					return nil, &ErrCorrupt{Path: seg.Path(), Detail: "row ordinal out of range"}
+				}
+				part[ord] = seg.Label(r)
+			}
+		}
+		out = append(out, part...)
+	}
+	return out, nil
+}
+
+// Segments returns the open segments of committed chunk seq (ascending
+// shard order). Exposed for the zero-alloc read-path tests and benchmarks.
+func (s *Store) Segments(seq int) []*Segment {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.chunks[seq].segs
+}

@@ -16,14 +16,10 @@ package labelprop
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"sort"
-	"sync"
 
 	"crossmodal/internal/feature"
-	"crossmodal/internal/mapreduce"
 	"crossmodal/internal/trace"
-	"crossmodal/internal/xrand"
 )
 
 // GraphConfig controls kNN graph construction.
@@ -80,9 +76,12 @@ type Edge struct {
 	Weight float64
 }
 
-// Graph is a symmetric weighted kNN graph over data points.
+// Graph is a symmetric weighted kNN graph over data points. The directed
+// per-vertex selections are retained alongside the symmetrized adjacency so
+// ApplyDelta can fold in new vertices without recomputing old selections.
 type Graph struct {
-	adj [][]Edge
+	adj      [][]Edge
+	directed [][]Edge
 }
 
 // NumVertices returns the vertex count.
@@ -132,9 +131,10 @@ func (s *dedupeSet) add(j int) bool {
 
 // BuildGraph constructs the similarity graph over vecs. All vectors must
 // share one schema. Scales should be fitted on the same corpus
-// (feature.FitScales) so numeric similarities are calibrated.
+// (feature.FitScales) so numeric similarities are calibrated. It is one
+// Builder delta over the whole corpus; chunked construction through
+// Builder.ApplyDelta yields a bit-identical graph.
 func BuildGraph(ctx context.Context, cfg GraphConfig, vecs []*feature.Vector, scales feature.Scales) (*Graph, error) {
-	cfg = cfg.withDefaults()
 	n := len(vecs)
 	if n == 0 {
 		return nil, fmt.Errorf("labelprop: no vertices")
@@ -142,96 +142,18 @@ func BuildGraph(ctx context.Context, cfg GraphConfig, vecs []*feature.Vector, sc
 	ctx, span := trace.Start(ctx, "labelprop.build_graph")
 	defer span.End()
 	span.SetInt("vertices", int64(n))
-	// Resolve the name-keyed scale/weight maps to index-aligned slices
-	// once; the per-pair path is then allocation- and map-free.
-	kern := feature.NewSimKernel(vecs[0].Schema(), scales, cfg.Weights)
-
-	// Candidate sets per vertex: LSH band collisions when enabled, blocked
-	// by shared categorical values, or all-pairs when no blocking features
-	// are configured.
-	var candidatesFor func(i int, rng *rand.Rand, seen *dedupeSet) []int
-	if cfg.LSH.Enable && !cfg.Exact {
-		index, err := buildLSHIndex(ctx, cfg, vecs)
-		if err != nil {
-			return nil, err
-		}
-		span.SetInt("lsh_bands", int64(index.bands))
-		span.SetInt("lsh_rows", int64(index.rows))
-		candidatesFor = index.candidatesFor(cfg.MaxCandidates)
-	} else if len(cfg.BlockFeatures) == 0 {
-		candidatesFor = func(i int, _ *rand.Rand, seen *dedupeSet) []int {
-			out := seen.buf[:0]
-			for j := 0; j < n; j++ {
-				if j != i {
-					out = append(out, j)
-				}
-			}
-			seen.buf = out
-			return out
-		}
-	} else {
-		index := buildBlockIndex(vecs, cfg.BlockFeatures)
-		// Block keys per vertex are computed once up front instead of
-		// re-deriving (and re-allocating) the "feat=cat" strings inside
-		// the parallel per-vertex search.
-		vertexKeys := make([][]string, n)
-		for i, v := range vecs {
-			vertexKeys[i] = blockKeys(v, cfg.BlockFeatures)
-		}
-		candidatesFor = func(i int, rng *rand.Rand, seen *dedupeSet) []int {
-			seen.reset()
-			for _, key := range vertexKeys[i] {
-				for _, j := range index[key] {
-					if j != i {
-						seen.add(j)
-					}
-				}
-			}
-			out := seen.buf
-			if len(out) > cfg.MaxCandidates {
-				rng.Shuffle(len(out), func(a, b int) { out[a], out[b] = out[b], out[a] })
-				out = out[:cfg.MaxCandidates]
-				sort.Ints(out)
-			}
-			return out
-		}
-	}
-
-	ids := make([]int, n)
-	for i := range ids {
-		ids[i] = i
-	}
-	// Worker-local scratch (stamp array + candidate buffer), reused across
-	// the vertices a worker processes.
-	scratch := sync.Pool{New: func() any {
-		return &dedupeSet{stamp: make([]int32, n)}
-	}}
-	directed, err := mapreduce.Map(ctx, mapreduce.Config{Workers: cfg.Workers}, ids, func(i int) ([]Edge, error) {
-		seen := scratch.Get().(*dedupeSet)
-		defer scratch.Put(seen)
-		rng := xrand.New(cfg.Seed ^ int64(i)*0x9e3779b9)
-		var edges []Edge
-		for _, j := range candidatesFor(i, rng, seen) {
-			w := kern.Weighted(vecs[i], vecs[j])
-			if w >= cfg.MinWeight {
-				edges = append(edges, Edge{To: j, Weight: w})
-			}
-		}
-		sort.Slice(edges, func(a, b int) bool {
-			if edges[a].Weight != edges[b].Weight {
-				return edges[a].Weight > edges[b].Weight
-			}
-			return edges[a].To < edges[b].To
-		})
-		if len(edges) > cfg.K {
-			edges = edges[:cfg.K]
-		}
-		return edges, nil
-	})
+	b, err := NewBuilder(vecs[0].Schema(), cfg, scales)
 	if err != nil {
 		return nil, err
 	}
-	g := &Graph{adj: symmetrize(directed)}
+	if bands, rows, ok := b.lshInfo(); ok {
+		span.SetInt("lsh_bands", int64(bands))
+		span.SetInt("lsh_rows", int64(rows))
+	}
+	if err := b.ApplyDelta(ctx, vecs); err != nil {
+		return nil, err
+	}
+	g := b.Graph()
 	span.SetInt("edges", int64(g.NumEdges()))
 	return g, nil
 }
@@ -275,17 +197,6 @@ func symmetrize(directed [][]Edge) [][]Edge {
 		adj[i] = out
 	}
 	return adj
-}
-
-// buildBlockIndex maps "feat=cat" keys to the vertices carrying them.
-func buildBlockIndex(vecs []*feature.Vector, feats []string) map[string][]int {
-	index := make(map[string][]int)
-	for i, v := range vecs {
-		for _, key := range blockKeys(v, feats) {
-			index[key] = append(index[key], i)
-		}
-	}
-	return index
 }
 
 func blockKeys(v *feature.Vector, feats []string) []string {

@@ -1,15 +1,12 @@
 package labelprop
 
 import (
-	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
-	"sync"
 
 	"crossmodal/internal/feature"
-	"crossmodal/internal/mapreduce"
 	"crossmodal/internal/xrand"
 )
 
@@ -80,7 +77,10 @@ func deriveBanding(threshold float64, maxHashes int) (bands, rows int) {
 }
 
 // lshIndex holds per-vertex band keys and the bucket table mapping a band
-// key to the vertices that produced it.
+// key to the vertices that produced it. Builder.ApplyDelta grows it in
+// place: the hash salts depend only on the graph seed (never on corpus
+// size), and buckets append vertices in ascending order, so an
+// incrementally grown index is identical to one built from scratch.
 type lshIndex struct {
 	bands, rows int
 	keys        []uint64 // vertex i's band keys at [i*bands, (i+1)*bands)
@@ -88,13 +88,21 @@ type lshIndex struct {
 	buckets     map[uint64][]int
 }
 
-// buildLSHIndex signs every vertex and fills the bucket table. Signature
-// computation is sharded across workers (disjoint writes, so the index is
-// identical for any worker count); the bucket table is built serially in
-// vertex order, keeping candidate enumeration deterministic.
-func buildLSHIndex(ctx context.Context, cfg GraphConfig, vecs []*feature.Vector) (*lshIndex, error) {
+// lshHasher is the corpus-independent signing state: which categorical
+// features feed signatures and the per-hash/band/feature salts, all
+// derived from the graph seed alone.
+type lshHasher struct {
+	bands, rows int
+	feats       []int
+	salts       []uint64
+	bandSalt    []uint64
+	featSalt    []uint64
+}
+
+// newLSHHasher resolves the signed features and derives the salt set from
+// cfg.Seed.
+func newLSHHasher(schema *feature.Schema, cfg GraphConfig) (*lshHasher, error) {
 	lcfg := cfg.LSH.withDefaults()
-	schema := vecs[0].Schema()
 	var feats []int
 	if len(lcfg.Features) == 0 {
 		for i := 0; i < schema.Len(); i++ {
@@ -123,82 +131,56 @@ func buildLSHIndex(ctx context.Context, cfg GraphConfig, vecs []*feature.Vector)
 	// Hash salts derive from the graph seed so signatures are reproducible
 	// per (Seed, vertex) — the same contract the candidate sampler has.
 	base := xrand.Mix(uint64(cfg.Seed) ^ 0xc2b2ae3d27d4eb4f)
-	salts := make([]uint64, H)
-	for k := range salts {
-		salts[k] = xrand.Mix(base + uint64(k+1)*0x9e3779b97f4a7c15)
+	h := &lshHasher{bands: bands, rows: rows, feats: feats}
+	h.salts = make([]uint64, H)
+	for k := range h.salts {
+		h.salts[k] = xrand.Mix(base + uint64(k+1)*0x9e3779b97f4a7c15)
 	}
-	bandSalt := make([]uint64, bands)
-	for b := range bandSalt {
-		bandSalt[b] = xrand.Mix(base ^ uint64(b+1)*0xff51afd7ed558ccd)
+	h.bandSalt = make([]uint64, bands)
+	for b := range h.bandSalt {
+		h.bandSalt[b] = xrand.Mix(base ^ uint64(b+1)*0xff51afd7ed558ccd)
 	}
-	featSalt := make([]uint64, len(feats))
+	h.featSalt = make([]uint64, len(feats))
 	for fi, f := range feats {
-		featSalt[fi] = xrand.Mix(uint64(f+1) * 0x2545f4914f6cdd1d)
+		h.featSalt[fi] = xrand.Mix(uint64(f+1) * 0x2545f4914f6cdd1d)
 	}
+	return h, nil
+}
 
-	n := len(vecs)
-	idx := &lshIndex{
-		bands:   bands,
-		rows:    rows,
-		keys:    make([]uint64, n*bands),
-		indexed: make([]bool, n),
+// sign MinHash-signs one vector and returns its band keys, or nil when the
+// vector has no hashed categorical content (such vertices get no
+// candidates, matching the blocked path's treatment of unblockable
+// vertices).
+func (h *lshHasher) sign(v *feature.Vector) []uint64 {
+	H := h.bands * h.rows
+	sig := make([]uint64, H)
+	for k := range sig {
+		sig[k] = math.MaxUint64
 	}
-	ids := make([]int, n)
-	for i := range ids {
-		ids[i] = i
-	}
-	scratch := sync.Pool{New: func() any {
-		s := make([]uint64, H)
-		return &s
-	}}
-	_, err := mapreduce.Map(ctx, mapreduce.Config{Workers: cfg.Workers}, ids, func(i int) (struct{}, error) {
-		sigp := scratch.Get().(*[]uint64)
-		defer scratch.Put(sigp)
-		sig := *sigp
-		for k := range sig {
-			sig[k] = math.MaxUint64
-		}
-		any := false
-		for fi, f := range feats {
-			for _, id := range vecs[i].At(f).InternedCategories() {
-				any = true
-				elem := xrand.Mix(featSalt[fi] ^ (uint64(id) + 0x9e3779b97f4a7c15))
-				for k, salt := range salts {
-					if h := xrand.Mix(elem ^ salt); h < sig[k] {
-						sig[k] = h
-					}
+	any := false
+	for fi, f := range h.feats {
+		for _, id := range v.At(f).InternedCategories() {
+			any = true
+			elem := xrand.Mix(h.featSalt[fi] ^ (uint64(id) + 0x9e3779b97f4a7c15))
+			for k, salt := range h.salts {
+				if hv := xrand.Mix(elem ^ salt); hv < sig[k] {
+					sig[k] = hv
 				}
 			}
 		}
-		if !any {
-			// No categorical content to hash: the vertex gets no candidates,
-			// matching the blocked path's treatment of unblockable vertices.
-			return struct{}{}, nil
-		}
-		idx.indexed[i] = true
-		for b := 0; b < bands; b++ {
-			key := bandSalt[b]
-			for r := 0; r < rows; r++ {
-				key = xrand.Mix(key ^ sig[b*rows+r])
-			}
-			idx.keys[i*bands+b] = key
-		}
-		return struct{}{}, nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	idx.buckets = make(map[uint64][]int, n)
-	for i := 0; i < n; i++ {
-		if !idx.indexed[i] {
-			continue
-		}
-		for b := 0; b < bands; b++ {
-			key := idx.keys[i*bands+b]
-			idx.buckets[key] = append(idx.buckets[key], i)
-		}
+	if !any {
+		return nil
 	}
-	return idx, nil
+	keys := make([]uint64, h.bands)
+	for b := 0; b < h.bands; b++ {
+		key := h.bandSalt[b]
+		for r := 0; r < h.rows; r++ {
+			key = xrand.Mix(key ^ sig[b*h.rows+r])
+		}
+		keys[b] = key
+	}
+	return keys
 }
 
 // candidatesFor returns the LSH candidate generator: the union of the

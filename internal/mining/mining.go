@@ -22,7 +22,6 @@ import (
 	"crossmodal/internal/feature"
 	"crossmodal/internal/lf"
 	"crossmodal/internal/mapreduce"
-	"crossmodal/internal/trace"
 )
 
 // Config sets the mining thresholds.
@@ -140,142 +139,19 @@ func (s itemset) key() string {
 
 // Mine generates LFs from a labeled development corpus. vecs and labels are
 // the dev set (old-modality labeled data projected into the common feature
-// space); labels are +1/-1.
+// space); labels are +1/-1. It is the single-chunk case of MineStream,
+// which does the actual work.
 func Mine(ctx context.Context, mrCfg mapreduce.Config, cfg Config, vecs []*feature.Vector, labels []int8) ([]*lf.LF, Report, error) {
-	var report Report
 	if err := cfg.validate(); err != nil {
-		return nil, report, err
+		return nil, Report{}, err
 	}
-	ctx, span := trace.Start(ctx, "mining")
-	defer span.End()
-	defer func() {
-		span.Add("candidates", int64(report.CandidatesScanned))
-		span.Add("lfs_pos", int64(report.PositiveLFs))
-		span.Add("lfs_neg", int64(report.NegativeLFs))
-		span.Add("lfs_numeric", int64(report.NumericLFs))
-	}()
 	if len(vecs) != len(labels) {
-		return nil, report, fmt.Errorf("mining: %d vectors vs %d labels", len(vecs), len(labels))
+		return nil, Report{}, fmt.Errorf("mining: %d vectors vs %d labels", len(vecs), len(labels))
 	}
 	if len(vecs) == 0 {
-		return nil, report, fmt.Errorf("mining: empty development set")
+		return nil, Report{}, fmt.Errorf("mining: empty development set")
 	}
-	schema := vecs[0].Schema()
-	var positives, negatives []*feature.Vector
-	for i, v := range vecs {
-		if labels[i] > 0 {
-			positives = append(positives, v)
-		} else {
-			negatives = append(negatives, v)
-		}
-	}
-	report.DevPositives = len(positives)
-	report.DevNegatives = len(negatives)
-	if len(positives) == 0 || len(negatives) == 0 {
-		return nil, report, fmt.Errorf("mining: dev set needs both classes (%d+/%d-)", len(positives), len(negatives))
-	}
-	posRate := float64(len(positives)) / float64(len(vecs))
-	posThreshold := cfg.posThreshold(posRate)
-	negThreshold := cfg.negThreshold(1 - posRate)
-
-	var lfs []*lf.LF
-
-	// --- Positive categorical LFs: positives-first Apriori ---
-	posSets, err := frequentItemsets(ctx, mrCfg, schema, positives, cfg.MaxOrder, cfg.MinSupport)
-	if err != nil {
-		return nil, report, err
-	}
-	report.CandidatesScanned += len(posSets)
-	negCounts, err := countItemsets(ctx, mrCfg, schema, negatives, posSets, cfg.MaxOrder)
-	if err != nil {
-		return nil, report, err
-	}
-	posLFs := acceptCategorical(posSets, negCounts, len(positives), posThreshold, cfg.PosRecall, cfg.MaxLFsPerFeature, lf.Positive)
-	report.PositiveLFs = len(posLFs)
-	lfs = append(lfs, posLFs...)
-
-	// --- Negative categorical LFs: mirror pass, order 1 only (the
-	// negative class is broad; higher-order negative rules add little and
-	// cost much — the paper's "behavior of the negative class is vast").
-	negSets, err := frequentItemsets(ctx, mrCfg, schema, negatives, 1, cfg.MinSupport)
-	if err != nil {
-		return nil, report, err
-	}
-	report.CandidatesScanned += len(negSets)
-	posCounts, err := countItemsets(ctx, mrCfg, schema, positives, negSets, 1)
-	if err != nil {
-		return nil, report, err
-	}
-	negLFs := acceptCategorical(negSets, posCounts, len(negatives), negThreshold, cfg.NegRecall, cfg.MaxLFsPerFeature, lf.Negative)
-	report.NegativeLFs = len(negLFs)
-	lfs = append(lfs, negLFs...)
-
-	// --- Numeric threshold LFs ---
-	numLFs := mineNumeric(schema, vecs, labels, cfg, posThreshold, negThreshold)
-	report.NumericLFs = len(numLFs)
-	lfs = append(lfs, numLFs...)
-
-	sort.Slice(lfs, func(i, j int) bool { return lfs[i].Name < lfs[j].Name })
-	return lfs, report, nil
-}
-
-// frequentItemsets mines category itemsets of one feature with support >=
-// minSupport over the given corpus, up to maxOrder, Apriori style: order-k
-// candidates are only generated from frequent order-(k-1) sets.
-func frequentItemsets(ctx context.Context, mrCfg mapreduce.Config, schema *feature.Schema, corpus []*feature.Vector, maxOrder, minSupport int) (map[string]itemsetCount, error) {
-	out := make(map[string]itemsetCount)
-	// Order 1: raw counts of every (feature, category).
-	counts, err := mapreduce.Count(ctx, mrCfg, corpus, func(v *feature.Vector, emit func(string)) error {
-		for i := 0; i < schema.Len(); i++ {
-			d := schema.Def(i)
-			if d.Kind != feature.Categorical {
-				continue
-			}
-			val := v.At(i)
-			if val.Missing {
-				continue
-			}
-			for _, c := range dedupe(val.Categories) {
-				emit(itemset{d.Name, []string{c}}.key())
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	frequent := make(map[string][]itemset) // by feature, for candidate join
-	for key, n := range counts {
-		if n < minSupport {
-			continue
-		}
-		s := parseKey(key)
-		out[key] = itemsetCount{set: s, count: n}
-		frequent[s.feat] = append(frequent[s.feat], s)
-	}
-	// Higher orders: join frequent (k-1)-sets of the same feature sharing
-	// a (k-2)-prefix, then count support exactly.
-	prev := frequent
-	for order := 2; order <= maxOrder; order++ {
-		candidates := joinCandidates(prev, order)
-		if len(candidates) == 0 {
-			break
-		}
-		cc, err := countItemsetList(ctx, mrCfg, schema, corpus, candidates)
-		if err != nil {
-			return nil, err
-		}
-		next := make(map[string][]itemset)
-		for key, ic := range cc {
-			if ic.count < minSupport {
-				continue
-			}
-			out[key] = ic
-			next[ic.set.feat] = append(next[ic.set.feat], ic.set)
-		}
-		prev = next
-	}
-	return out, nil
+	return MineStream(ctx, mrCfg, cfg, &sliceCorpus{vecs: vecs, labels: labels})
 }
 
 type itemsetCount struct {
@@ -342,24 +218,6 @@ func equalPrefix(a, b []string, n int) bool {
 		}
 	}
 	return true
-}
-
-// countItemsets counts how many corpus points contain each of the candidate
-// itemsets (given as the keys of want).
-func countItemsets(ctx context.Context, mrCfg mapreduce.Config, schema *feature.Schema, corpus []*feature.Vector, want map[string]itemsetCount, maxOrder int) (map[string]int, error) {
-	list := make([]itemset, 0, len(want))
-	for _, ic := range want {
-		list = append(list, ic.set)
-	}
-	cc, err := countItemsetList(ctx, mrCfg, schema, corpus, list)
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[string]int, len(cc))
-	for key, ic := range cc {
-		out[key] = ic.count
-	}
-	return out, nil
 }
 
 // countItemsetList counts exact support of explicit candidate itemsets.
@@ -502,98 +360,4 @@ func itemsetLF(s itemset, vote int8) *lf.LF {
 			return lf.Abstain
 		},
 	}
-}
-
-// mineNumeric proposes threshold LFs for numeric features: candidate cuts at
-// quantiles of the dev distribution, both directions and both votes,
-// accepted by the same precision/recall thresholds; at most one positive and
-// one negative LF per feature (the best by precision×recall).
-func mineNumeric(schema *feature.Schema, vecs []*feature.Vector, labels []int8, cfg Config, posThreshold, negThreshold float64) []*lf.LF {
-	q := cfg.NumericQuantiles
-	if q < 2 {
-		return nil
-	}
-	var totalPos, totalNeg int
-	for _, l := range labels {
-		if l > 0 {
-			totalPos++
-		} else {
-			totalNeg++
-		}
-	}
-	var out []*lf.LF
-	for fi := 0; fi < schema.Len(); fi++ {
-		d := schema.Def(fi)
-		if d.Kind != feature.Numeric {
-			continue
-		}
-		type obs struct {
-			val float64
-			lbl int8
-		}
-		var observed []obs
-		for i, v := range vecs {
-			if val := v.At(fi); !val.Missing {
-				observed = append(observed, obs{val.Num, labels[i]})
-			}
-		}
-		if len(observed) < 2*cfg.MinSupport {
-			continue
-		}
-		sort.Slice(observed, func(i, j int) bool { return observed[i].val < observed[j].val })
-		type best struct {
-			ok    bool
-			score float64
-			lf    *lf.LF
-		}
-		var bestPos, bestNeg best
-		consider := func(cut float64, above bool, vote int8) {
-			var in, other int
-			for _, o := range observed {
-				hit := (above && o.val >= cut) || (!above && o.val <= cut)
-				if !hit {
-					continue
-				}
-				if o.lbl == vote {
-					in++
-				} else {
-					other++
-				}
-			}
-			if in < cfg.MinSupport {
-				return
-			}
-			precision := float64(in) / float64(in+other)
-			total := totalPos
-			minP, minR := posThreshold, cfg.PosRecall
-			slot := &bestPos
-			if vote == lf.Negative {
-				total = totalNeg
-				minP, minR = negThreshold, cfg.NegRecall
-				slot = &bestNeg
-			}
-			recall := float64(in) / float64(total)
-			if precision < minP || recall < minR {
-				return
-			}
-			score := precision * recall
-			if !slot.ok || score > slot.score {
-				*slot = best{true, score, lf.ThresholdLF(d.Name, cut, above, vote, "mined")}
-			}
-		}
-		for k := 1; k < q; k++ {
-			cut := observed[len(observed)*k/q].val
-			consider(cut, true, lf.Positive)
-			consider(cut, false, lf.Positive)
-			consider(cut, true, lf.Negative)
-			consider(cut, false, lf.Negative)
-		}
-		if bestPos.ok {
-			out = append(out, bestPos.lf)
-		}
-		if bestNeg.ok {
-			out = append(out, bestNeg.lf)
-		}
-	}
-	return out
 }

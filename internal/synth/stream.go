@@ -1,0 +1,144 @@
+package synth
+
+// Stream generates the same dataset BuildDataset would — same shared RNG,
+// same ID sequence, same labels — but hands it out in bounded chunks so
+// million-point corpora never exist as one slice. The pipeline's streaming
+// front half (core.CurateStreamed) drives it and spills each chunk to the
+// disk feature store.
+
+import (
+	"math/rand"
+
+	"crossmodal/internal/xrand"
+)
+
+// CorpusKind identifies which dataset corpus a streamed chunk belongs to.
+type CorpusKind int
+
+const (
+	TextCorpus CorpusKind = iota
+	ImageCorpus
+	PoolCorpus
+	TestCorpus
+	numCorpora
+)
+
+func (k CorpusKind) String() string {
+	switch k {
+	case TextCorpus:
+		return "text"
+	case ImageCorpus:
+		return "image"
+	case PoolCorpus:
+		return "pool"
+	case TestCorpus:
+		return "test"
+	}
+	return "unknown"
+}
+
+// Chunk is one bounded run of consecutive points from a single corpus.
+// Points never span a corpus boundary, so a consumer can route each chunk
+// wholesale by Corpus.
+type Chunk struct {
+	Corpus CorpusKind
+	// Start is the chunk's offset within its corpus (not the global ID).
+	Start  int
+	Points []*Point
+}
+
+// Stream yields a dataset chunk by chunk. The generation order — and every
+// RNG draw — is identical to BuildDataset at the same config, which is what
+// makes the streamed pipeline bit-identical to the in-memory one: text,
+// then unlabeled image, then hand-label pool, then test, all from one
+// sequential generator.
+type Stream struct {
+	w      *World
+	task   *Task
+	cfg    DatasetConfig
+	rng    *rand.Rand
+	sizes  [numCorpora]int
+	corpus CorpusKind
+	offset int // points already emitted within the current corpus
+	nextID int
+}
+
+// NewStream validates cfg, calibrates the task exactly as BuildDataset
+// does, and returns a stream positioned at the first text point.
+func NewStream(w *World, task *Task, cfg DatasetConfig) (*Stream, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	calN := cfg.CalibrationSamples
+	if calN == 0 {
+		calN = 40000
+	}
+	if !task.calibrated {
+		if err := task.Calibrate(w, calN, cfg.Seed^0x5ca1ab1e); err != nil {
+			return nil, err
+		}
+	}
+	s := &Stream{w: w, task: task, cfg: cfg, rng: xrand.New(cfg.Seed)}
+	s.sizes = [numCorpora]int{cfg.NumText, cfg.NumUnlabeledImage, cfg.NumHandLabelPool, cfg.NumTest}
+	return s, nil
+}
+
+// modalityOf maps a corpus to the modality BuildDataset samples it in.
+func modalityOf(k CorpusKind) Modality {
+	if k == TextCorpus {
+		return Text
+	}
+	return Image
+}
+
+// Next returns the next chunk of at most max points, never crossing a
+// corpus boundary. It returns nil when the dataset is exhausted.
+func (s *Stream) Next(max int) *Chunk {
+	if max <= 0 {
+		max = 4096
+	}
+	// Skip empty corpora (the hand-label pool may be size 0).
+	for s.corpus < numCorpora && s.offset == s.sizes[s.corpus] {
+		s.corpus++
+		s.offset = 0
+	}
+	if s.corpus >= numCorpora {
+		return nil
+	}
+	n := s.sizes[s.corpus] - s.offset
+	if n > max {
+		n = max
+	}
+	m := modalityOf(s.corpus)
+	pts := make([]*Point, n)
+	for i := range pts {
+		e := s.w.SampleEntity(s.rng, m, s.nextID)
+		pts[i] = &Point{
+			ID:       s.nextID,
+			Entity:   e,
+			Modality: m,
+			Seed:     xrand.Mix(uint64(s.cfg.Seed)<<20 ^ uint64(s.nextID)),
+			Label:    s.task.Label(s.w, e),
+		}
+		s.nextID++
+	}
+	c := &Chunk{Corpus: s.corpus, Start: s.offset, Points: pts}
+	s.offset += n
+	return c
+}
+
+// Remaining returns how many points are left in corpus k (including not-yet
+// reached corpora in full).
+func (s *Stream) Remaining(k CorpusKind) int {
+	switch {
+	case k < s.corpus:
+		return 0
+	case k == s.corpus:
+		return s.sizes[k] - s.offset
+	default:
+		return s.sizes[k]
+	}
+}
+
+// Size returns corpus k's total size under the stream's config.
+func (s *Stream) Size(k CorpusKind) int { return s.sizes[k] }

@@ -1,0 +1,189 @@
+package synth
+
+import "testing"
+
+// TestStreamMatchesBuildDataset is the bit-identity gate for the streamed
+// generator: chunked emission must reproduce BuildDataset's points exactly
+// — same IDs, entities, seeds, labels — for every corpus, at any chunk
+// size, including one that does not divide the corpus sizes.
+func TestStreamMatchesBuildDataset(t *testing.T) {
+	for _, chunk := range []int{1, 7, 64, 100000} {
+		cfg := DatasetConfig{
+			Seed:               41,
+			NumText:            300,
+			NumUnlabeledImage:  120,
+			NumHandLabelPool:   35,
+			NumTest:            90,
+			CalibrationSamples: 2000,
+		}
+		w := MustWorld(DefaultConfig())
+		task, err := TaskByName("CT1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := BuildDataset(w, task, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Fresh world and task: calibration must happen inside NewStream
+		// exactly as it does inside BuildDataset.
+		w2 := MustWorld(DefaultConfig())
+		task2, err := TaskByName("CT1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err := NewStream(w2, task2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[CorpusKind][]*Point{
+			TextCorpus:  ds.LabeledText,
+			ImageCorpus: ds.UnlabeledImage,
+			PoolCorpus:  ds.HandLabelPool,
+			TestCorpus:  ds.TestImage,
+		}
+		got := map[CorpusKind][]*Point{}
+		for {
+			c := stream.Next(chunk)
+			if c == nil {
+				break
+			}
+			if c.Start != len(got[c.Corpus]) {
+				t.Fatalf("chunk=%d: corpus %v chunk starts at %d, have %d points", chunk, c.Corpus, c.Start, len(got[c.Corpus]))
+			}
+			if len(c.Points) == 0 || len(c.Points) > chunk {
+				t.Fatalf("chunk=%d: corpus %v chunk has %d points", chunk, c.Corpus, len(c.Points))
+			}
+			got[c.Corpus] = append(got[c.Corpus], c.Points...)
+		}
+		for k, wantPts := range want {
+			gotPts := got[k]
+			if len(gotPts) != len(wantPts) {
+				t.Fatalf("chunk=%d: corpus %v: %d points, want %d", chunk, k, len(gotPts), len(wantPts))
+			}
+			for i := range wantPts {
+				a, b := wantPts[i], gotPts[i]
+				if a.ID != b.ID || a.Seed != b.Seed || a.Label != b.Label || a.Modality != b.Modality {
+					t.Fatalf("chunk=%d: corpus %v point %d: got {id %d seed %x label %d}, want {id %d seed %x label %d}",
+						chunk, k, i, b.ID, b.Seed, b.Label, a.ID, a.Seed, a.Label)
+				}
+				if a.Entity.Topic != b.Entity.Topic || a.Entity.Eps != b.Entity.Eps || a.Entity.User != b.Entity.User {
+					t.Fatalf("chunk=%d: corpus %v point %d: entity diverged", chunk, k, i)
+				}
+			}
+		}
+	}
+}
+
+func TestStreamRemaining(t *testing.T) {
+	cfg := DatasetConfig{Seed: 3, NumText: 10, NumUnlabeledImage: 5, NumHandLabelPool: 0, NumTest: 4, CalibrationSamples: 500}
+	w := MustWorld(DefaultConfig())
+	task, err := TaskByName("CT1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStream(w, task, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Remaining(TextCorpus) != 10 || s.Remaining(TestCorpus) != 4 {
+		t.Fatalf("fresh stream remaining wrong: %d/%d", s.Remaining(TextCorpus), s.Remaining(TestCorpus))
+	}
+	c := s.Next(6)
+	if c.Corpus != TextCorpus || len(c.Points) != 6 {
+		t.Fatalf("first chunk: %v/%d", c.Corpus, len(c.Points))
+	}
+	if s.Remaining(TextCorpus) != 4 {
+		t.Fatalf("remaining text = %d, want 4", s.Remaining(TextCorpus))
+	}
+	// Pool is empty; the stream must skip it without emitting a chunk.
+	var kinds []CorpusKind
+	for {
+		c := s.Next(100)
+		if c == nil {
+			break
+		}
+		kinds = append(kinds, c.Corpus)
+	}
+	wantKinds := []CorpusKind{TextCorpus, ImageCorpus, TestCorpus}
+	if len(kinds) != len(wantKinds) {
+		t.Fatalf("chunk corpora %v, want %v", kinds, wantKinds)
+	}
+	for i := range kinds {
+		if kinds[i] != wantKinds[i] {
+			t.Fatalf("chunk corpora %v, want %v", kinds, wantKinds)
+		}
+	}
+	if s.Next(1) != nil {
+		t.Fatal("exhausted stream yielded another chunk")
+	}
+}
+
+// TestCorpusKindString pins the corpus names consumers use in shard paths
+// and log lines.
+func TestCorpusKindString(t *testing.T) {
+	cases := map[CorpusKind]string{
+		TextCorpus:     "text",
+		ImageCorpus:    "image",
+		PoolCorpus:     "pool",
+		TestCorpus:     "test",
+		CorpusKind(99): "unknown",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("CorpusKind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+// TestStreamSizeAndPastCorpus: Size reports config totals regardless of
+// position, Remaining reports 0 for a corpus the stream has moved past, and
+// a non-positive max falls back to the default chunk size.
+func TestStreamSizeAndPastCorpus(t *testing.T) {
+	cfg := DatasetConfig{Seed: 9, NumText: 6, NumUnlabeledImage: 3, NumHandLabelPool: 2, NumTest: 4, CalibrationSamples: 500}
+	w := MustWorld(DefaultConfig())
+	task, err := TaskByName("CT2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStream(w, task, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size(TextCorpus) != 6 || s.Size(ImageCorpus) != 3 || s.Size(PoolCorpus) != 2 || s.Size(TestCorpus) != 4 {
+		t.Fatalf("sizes %d/%d/%d/%d do not match config",
+			s.Size(TextCorpus), s.Size(ImageCorpus), s.Size(PoolCorpus), s.Size(TestCorpus))
+	}
+	c := s.Next(0)
+	if c == nil || c.Corpus != TextCorpus || len(c.Points) != 6 {
+		t.Fatalf("Next(0) did not drain the text corpus under the default max: %+v", c)
+	}
+	c = s.Next(-1)
+	if c == nil || c.Corpus != ImageCorpus || len(c.Points) != 3 {
+		t.Fatalf("Next(-1) did not drain the image corpus under the default max: %+v", c)
+	}
+	if got := s.Remaining(TextCorpus); got != 0 {
+		t.Fatalf("Remaining(text) = %d after moving past it, want 0", got)
+	}
+	if s.Size(TextCorpus) != 6 {
+		t.Fatalf("Size(text) changed mid-stream: %d", s.Size(TextCorpus))
+	}
+}
+
+// TestNewStreamRejectsBadConfig: NewStream applies the same config
+// validation as BuildDataset before touching the task or RNG.
+func TestNewStreamRejectsBadConfig(t *testing.T) {
+	w := MustWorld(DefaultConfig())
+	task, err := TaskByName("CT1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStream(w, task, DatasetConfig{Seed: 1}); err == nil {
+		t.Fatal("NewStream accepted zero corpus sizes")
+	}
+	bad := DatasetConfig{Seed: 1, NumText: 5, NumUnlabeledImage: 5, NumHandLabelPool: -1, NumTest: 5}
+	if _, err := NewStream(w, task, bad); err == nil {
+		t.Fatal("NewStream accepted a negative hand-label pool")
+	}
+}

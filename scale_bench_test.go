@@ -1,0 +1,121 @@
+package crossmodal_test
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"crossmodal"
+)
+
+// BenchmarkScaleStream measures the streamed curation path at increasing
+// corpus sizes: wall-clock (ns/op), peak live heap (post-GC HeapAlloc
+// high-water, sampled every few chunks), and peak process RSS (VmHWM).
+// `make bench-scale` runs it at the sizes in CROSSMODAL_BENCH_SCALE
+// (default "100000 1000000") and archives the parsed output as
+// BENCH_scale.json — the scaling claim is that peak-heap-MB stays flat as
+// entities grow, because resident state is bounded by ChunkSize and
+// GraphWindow, not corpus size. Note VmHWM is a process-lifetime high-water
+// mark: within one `go test` invocation later sub-benchmarks can only
+// report values >= earlier ones, so peak-rss-MB is meaningful per process,
+// not per sub-benchmark.
+func BenchmarkScaleStream(b *testing.B) {
+	sizes := []int{100_000}
+	if env := os.Getenv("CROSSMODAL_BENCH_SCALE"); env != "" {
+		sizes = sizes[:0]
+		for _, f := range strings.Fields(env) {
+			n, err := strconv.Atoi(f)
+			if err != nil || n < 1000 {
+				b.Fatalf("bad CROSSMODAL_BENCH_SCALE entry %q", f)
+			}
+			sizes = append(sizes, n)
+		}
+	}
+
+	world := crossmodal.MustWorld(crossmodal.DefaultWorldConfig())
+	lib, err := crossmodal.StandardLibrary(world)
+	if err != nil {
+		b.Fatal(err)
+	}
+	task, err := crossmodal.TaskByName("CT1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := crossmodal.DefaultOptions()
+	opts.Seed = 53
+	opts.MaxGraphSeeds, opts.GraphDevNodes = 600, 200
+	opts.Mining.NumericQuantiles = 0 // quantile candidate buffers are O(corpus)
+	pipe, err := crossmodal.NewPipeline(lib, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	for _, entities := range sizes {
+		b.Run(fmt.Sprintf("entities=%d", entities), func(b *testing.B) {
+			nText := entities * 3 / 5
+			cfg := crossmodal.DatasetConfig{
+				Seed: 53, NumText: nText, NumUnlabeledImage: entities - nText,
+				NumHandLabelPool: 500, NumTest: 500,
+			}
+			var peakHeap uint64
+			probe := func(stage string, chunk int) error {
+				if chunk%8 != 0 {
+					return nil
+				}
+				runtime.GC()
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peakHeap {
+					peakHeap = ms.HeapAlloc
+				}
+				return nil
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc, err := pipe.CurateStreamed(context.Background(), world, task, cfg, crossmodal.StreamOptions{
+					Dir: b.TempDir(), ChunkSize: 8192, GraphWindow: 2000, ChunkHook: probe,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sc.Report.LFCount <= 0 {
+					b.Fatal("no LFs mined")
+				}
+				sc.Close()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(entities), "entities")
+			b.ReportMetric(float64(peakHeap)/(1<<20), "peak-heap-MB")
+			if rss, ok := vmHWMMB(); ok {
+				b.ReportMetric(rss, "peak-rss-MB")
+			}
+		})
+	}
+}
+
+// vmHWMMB reads the process's peak resident set size from /proc/self/status
+// (Linux only; ok=false elsewhere).
+func vmHWMMB() (float64, bool) {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) >= 3 && fields[0] == "VmHWM:" && fields[2] == "kB" {
+			kb, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return 0, false
+			}
+			return kb / 1024, true
+		}
+	}
+	return 0, false
+}
