@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test build bench bench-json bench-smoke race serve-bench chaos cover cover-check trace-smoke scale-smoke bench-scale
+.PHONY: check test build bench bench-json bench-smoke race serve-bench chaos cover cover-check trace-smoke scale-smoke bench-scale lifecycle-smoke
 
 ## check: tier-1 gate — build everything, vet it, run every test.
 check:
@@ -98,6 +98,22 @@ trace-smoke:
 			|| { echo "trace-smoke: stage $$stage missing from trace"; exit 1; }; \
 	done
 	@echo "trace-smoke: bin/trace-smoke.json covers all pipeline stages"
+
+## lifecycle-smoke: the closed-loop gate — the lifecycle controller suite
+## under the race detector (detector properties, the golden drift episode,
+## crash-mid-retrain and faulty-resource riders), then one seeded drift
+## episode end to end through cmd/lifecycle. The event log must record a
+## drift detection and a promotion, and the zero-drift control run must stay
+## silent: clean traffic never triggers a retrain.
+lifecycle-smoke:
+	$(GO) test -race -count=1 ./internal/lifecycle/
+	mkdir -p bin
+	$(GO) run -race ./cmd/lifecycle -out bin/lifecycle-events.json >/dev/null
+	@grep -q '"type": "drift"' bin/lifecycle-events.json || { echo "lifecycle-smoke: no drift event in the episode log"; exit 1; }
+	@grep -q '"type": "promote"' bin/lifecycle-events.json || { echo "lifecycle-smoke: no promote event in the episode log"; exit 1; }
+	$(GO) run -race ./cmd/lifecycle -simulate-drift=false -out bin/lifecycle-quiet.json >/dev/null
+	@if grep -q '"type": "drift"' bin/lifecycle-quiet.json; then echo "lifecycle-smoke: zero-drift control run tripped the detector"; exit 1; fi
+	@echo "lifecycle-smoke: drift detected, candidate promoted, quiet without drift"
 
 ## chaos: the failure-injection gate — seeded chaos suites across resource /
 ## featurestore / serve, the breaker property suite (1500 generated event

@@ -7,13 +7,16 @@
 //
 //	experiments [-run all|table1|table2|table3|figure5|figure6|figure7|fusion|lfgen|ablations|rawvsfeat]
 //	            [-scale 1.0] [-seed 17] [-tasks CT1,CT2,...] [-o out.md]
-//	            [-trace trace.json] [-trace-summary]
+//	            [-store dir] [-trace trace.json] [-trace-summary]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -scale shrinks every corpus for fast smoke runs; the headline numbers use
-// scale 1.0 (see EXPERIMENTS.md). -trace writes a Chrome trace_event JSON
-// file loadable in chrome://tracing or ui.perfetto.dev; -trace-summary
-// prints the aggregated stage tree to stderr on exit.
+// scale 1.0 (see EXPERIMENTS.md). -store routes curation through the
+// disk-backed feature store rooted at the given directory: a second run at
+// the same scale and seed reuses the featurized chunks instead of
+// recomputing them, with bit-identical results. -trace writes a Chrome
+// trace_event JSON file loadable in chrome://tracing or ui.perfetto.dev;
+// -trace-summary prints the aggregated stage tree to stderr on exit.
 package main
 
 import (
@@ -39,6 +42,7 @@ type runConfig struct {
 	seed         int64
 	tasks        string
 	out          string
+	store        string
 	workers      int
 	cpuProfile   string
 	memProfile   string
@@ -99,6 +103,7 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 17, "random seed")
 	flag.StringVar(&cfg.tasks, "tasks", "", "comma-separated task subset (default: all five)")
 	flag.StringVar(&cfg.out, "o", "", "output file (default stdout)")
+	flag.StringVar(&cfg.store, "store", "", "feature-store directory: curation runs through the disk-backed streaming path rooted here, reusing chunks featurized by earlier runs at the same scale and seed")
 	flag.IntVar(&cfg.workers, "workers", 0, "worker goroutines per parallel stage (0 = GOMAXPROCS)")
 	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile to this file on exit")
@@ -139,12 +144,15 @@ func run(cfg runConfig) error {
 		w = f
 	}
 
-	suite, err := experiments.NewSuite(experiments.Config{Scale: cfg.scale, Seed: cfg.seed, Workers: cfg.workers})
+	suite, err := experiments.NewSuite(experiments.Config{Scale: cfg.scale, Seed: cfg.seed, Workers: cfg.workers, StoreDir: cfg.store})
 	if err != nil {
 		return err
 	}
 	if err := dispatch(context.Background(), w, suite, cfg.run, cfg.taskList(), cfg.scale); err != nil {
 		return err
+	}
+	if cfg.store != "" {
+		log.Printf("feature store %s: reused %d previously featurized chunks", cfg.store, suite.ReusedChunks())
 	}
 	if err := stopTrace(); err != nil {
 		return err

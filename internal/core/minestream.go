@@ -1,0 +1,36 @@
+package core
+
+import (
+	"context"
+
+	"crossmodal/internal/feature"
+)
+
+// chunkedCorpus exposes an in-memory dev corpus to mining.MineStream as a
+// sequence of fixed-size chunks, so Options.StreamMining exercises the real
+// chunk-merge path (counts accumulated across Scan callbacks) rather than
+// degenerating into a single whole-corpus chunk.
+type chunkedCorpus struct {
+	vecs   []*feature.Vector
+	labels []int8
+	chunk  int
+}
+
+func (c *chunkedCorpus) Schema() *feature.Schema { return c.vecs[0].Schema() }
+
+func (c *chunkedCorpus) Scan(ctx context.Context, fn func([]*feature.Vector, []int8) error) error {
+	n := c.chunk
+	if n <= 0 {
+		n = 2048
+	}
+	for lo := 0; lo < len(c.vecs); lo += n {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		hi := min(lo+n, len(c.vecs))
+		if err := fn(c.vecs[lo:hi], c.labels[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"context"
+	"math"
+
+	"crossmodal/internal/feature"
+	"testing"
+)
+
+// Options.StreamMining must be a pure plumbing change: curation through the
+// chunked MineStream path yields bit-identical probabilistic labels,
+// coverage, and LF counts to the one-shot mining path. The lifecycle
+// controller relies on this — its retrains stream, its golden log must not
+// depend on which mining path ran.
+func TestStreamMiningCurationBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	lib, ds := testEnv(t)
+
+	run := func(stream bool) *Curation {
+		opts := smallOptions()
+		opts.StreamMining = stream
+		p, err := NewPipeline(lib, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur, err := p.Curate(context.Background(), ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cur
+	}
+
+	oneShot := run(false)
+	streamed := run(true)
+
+	if a, b := oneShot.Report.LFCount, streamed.Report.LFCount; a != b {
+		t.Fatalf("LF count differs: one-shot %d, streamed %d", a, b)
+	}
+	if len(oneShot.ProbLabels) != len(streamed.ProbLabels) {
+		t.Fatalf("prob label count differs: %d vs %d", len(oneShot.ProbLabels), len(streamed.ProbLabels))
+	}
+	for i := range oneShot.ProbLabels {
+		if math.Float64bits(oneShot.ProbLabels[i]) != math.Float64bits(streamed.ProbLabels[i]) {
+			t.Fatalf("prob label %d differs: %v vs %v", i, oneShot.ProbLabels[i], streamed.ProbLabels[i])
+		}
+		if oneShot.Covered[i] != streamed.Covered[i] {
+			t.Fatalf("coverage %d differs", i)
+		}
+	}
+}
+
+// chunkedCorpus must deliver every row exactly once, in order, for any chunk
+// size — including sizes that do not divide the corpus length.
+func TestChunkedCorpusScan(t *testing.T) {
+	lib, ds := testEnv(t)
+	p, err := NewPipeline(lib, smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs, err := p.Featurize(context.Background(), ds.LabeledText[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]int8, len(vecs))
+	for i := range labels {
+		labels[i] = int8(i % 3)
+	}
+	for _, chunk := range []int{1, 7, 100, 1000, 0} {
+		c := &chunkedCorpus{vecs: vecs, labels: labels, chunk: chunk}
+		if c.Schema() != vecs[0].Schema() {
+			t.Fatal("schema mismatch")
+		}
+		var gotVecs int
+		var gotLabels []int8
+		err := c.Scan(context.Background(), func(vs []*feature.Vector, ls []int8) error {
+			gotVecs += len(vs)
+			gotLabels = append(gotLabels, ls...)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotVecs != len(vecs) || len(gotLabels) != len(labels) {
+			t.Fatalf("chunk %d: scanned %d vecs / %d labels, want %d", chunk, gotVecs, len(gotLabels), len(vecs))
+		}
+		for i := range labels {
+			if gotLabels[i] != labels[i] {
+				t.Fatalf("chunk %d: label %d out of order", chunk, i)
+			}
+		}
+	}
+
+	// Context cancellation aborts the scan.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := &chunkedCorpus{vecs: vecs, labels: labels, chunk: 10}
+	if err := c.Scan(ctx, func([]*feature.Vector, []int8) error { return nil }); err == nil {
+		t.Error("canceled scan returned nil error")
+	}
+}

@@ -374,6 +374,14 @@ func (p *Pipeline) buildLFs(ctx context.Context, devVecs []*feature.Vector, devL
 		}
 		return lfs, mining.Report{}, nil
 	default:
+		if p.opts.StreamMining {
+			corpus := &chunkedCorpus{vecs: devVecs, labels: devLabels, chunk: 2048}
+			lfs, rep, err := mining.MineStream(ctx, mapreduce.Config{Workers: p.opts.Workers}, p.opts.Mining, corpus)
+			if err != nil {
+				return nil, rep, fmt.Errorf("core: mine LFs (streamed): %w", err)
+			}
+			return lfs, rep, nil
+		}
 		lfs, rep, err := mining.Mine(ctx, mapreduce.Config{Workers: p.opts.Workers}, p.opts.Mining, devVecs, devLabels)
 		if err != nil {
 			return nil, rep, fmt.Errorf("core: mine LFs: %w", err)

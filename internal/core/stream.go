@@ -88,6 +88,9 @@ type StreamedCuration struct {
 	ProbLabels []float64
 	Covered    []bool
 	Report     Report
+	// ReusedChunks counts store chunks whose featurization was skipped on a
+	// Resume run because they had already committed; 0 on a cold run.
+	ReusedChunks int
 
 	task *synth.Task
 	opts StreamOptions
@@ -205,6 +208,7 @@ type streamRun struct {
 	textLabels  []int8
 	imageTruth  []int8
 	pool, test  []*synth.Point
+	reused      int
 }
 
 func (r *streamRun) hook(stage string, chunk int) error {
@@ -229,14 +233,15 @@ func (r *streamRun) run(ctx context.Context, stream *synth.Stream) (*StreamedCur
 
 	report := Report{Task: r.task.Name, Timings: timings}
 	sc := &StreamedCuration{
-		Text:       r.text,
-		Image:      r.image,
-		TextLabels: r.textLabels,
-		ImageTruth: r.imageTruth,
-		Pool:       r.pool,
-		Test:       r.test,
-		task:       r.task,
-		opts:       r.opts,
+		Text:         r.text,
+		Image:        r.image,
+		TextLabels:   r.textLabels,
+		ImageTruth:   r.imageTruth,
+		Pool:         r.pool,
+		Test:         r.test,
+		ReusedChunks: r.reused,
+		task:         r.task,
+		opts:         r.opts,
 	}
 	nImages := r.image.Rows()
 	if !r.p.opts.UseImage {
@@ -324,7 +329,7 @@ func (r *streamRun) ingest(ctx context.Context, stream *synth.Stream) error {
 	if r.opts.Resume {
 		textSkip, imageSkip = r.text.Chunks(), r.image.Chunks()
 	}
-	textChunks, imageChunks, reused := 0, 0, 0
+	textChunks, imageChunks := 0, 0
 	for {
 		ch := stream.Next(r.opts.ChunkSize)
 		if ch == nil {
@@ -341,7 +346,7 @@ func (r *streamRun) ingest(ctx context.Context, stream *synth.Stream) error {
 			}
 			labels := synth.Labels(ch.Points)
 			r.textLabels = append(r.textLabels, labels...)
-			if err := r.spill(ctx, r.text, ch, labels, textChunks, textSkip, &reused); err != nil {
+			if err := r.spill(ctx, r.text, ch, labels, textChunks, textSkip); err != nil {
 				return err
 			}
 			if err := r.hook("ingest:text", textChunks); err != nil {
@@ -351,7 +356,7 @@ func (r *streamRun) ingest(ctx context.Context, stream *synth.Stream) error {
 		case synth.ImageCorpus:
 			truth := synth.Labels(ch.Points)
 			r.imageTruth = append(r.imageTruth, truth...)
-			if err := r.spill(ctx, r.image, ch, truth, imageChunks, imageSkip, &reused); err != nil {
+			if err := r.spill(ctx, r.image, ch, truth, imageChunks, imageSkip); err != nil {
 				return err
 			}
 			if err := r.hook("ingest:image", imageChunks); err != nil {
@@ -370,16 +375,16 @@ func (r *streamRun) ingest(ctx context.Context, stream *synth.Stream) error {
 	}
 	span.SetInt("text_rows", int64(len(r.textLabels)))
 	span.SetInt("image_rows", int64(len(r.imageTruth)))
-	span.SetInt("chunks_reused", int64(reused))
+	span.SetInt("chunks_reused", int64(r.reused))
 	return nil
 }
 
-func (r *streamRun) spill(ctx context.Context, store *disk.Store, ch *synth.Chunk, labels []int8, seq, skip int, reused *int) error {
+func (r *streamRun) spill(ctx context.Context, store *disk.Store, ch *synth.Chunk, labels []int8, seq, skip int) error {
 	if seq < skip {
 		if got := store.ChunkRows(seq); got != len(ch.Points) {
 			return fmt.Errorf("core: resume mismatch: store chunk %d has %d rows, generator produced %d (different ChunkSize or dataset config?)", seq, got, len(ch.Points))
 		}
-		*reused++
+		r.reused++
 		return nil
 	}
 	vecs, err := r.p.Featurize(ctx, ch.Points)

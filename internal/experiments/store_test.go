@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// TestStoreDirBitIdentityAndReuse pins the -store contract: a suite routed
+// through a disk-backed feature store produces bit-identical curations to
+// the regenerating in-memory suite, and later runs over the same store
+// (including the no-propagation ablation) reuse the featurized chunks
+// instead of recomputing them.
+func TestStoreDirBitIdentityAndReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds several curations")
+	}
+	ctx := context.Background()
+	cfg := Config{Scale: 0.04, Seed: 5}
+
+	mem, err := NewSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcMem, err := mem.ctxFor(ctx, "CT1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.ReusedChunks() != 0 {
+		t.Errorf("in-memory suite reports %d reused chunks, want 0", mem.ReusedChunks())
+	}
+
+	storeCfg := cfg
+	storeCfg.StoreDir = t.TempDir()
+	cold, err := NewSuite(storeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcCold, err := cold.ctxFor(ctx, "CT1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.ReusedChunks() != 0 {
+		t.Errorf("cold store run reused %d chunks, want 0", cold.ReusedChunks())
+	}
+	sameCuration(t, "cold store vs in-memory", tcMem, tcCold)
+
+	warm, err := NewSuite(storeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcWarm, err := warm.ctxFor(ctx, "CT1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterCtx := warm.ReusedChunks()
+	if afterCtx == 0 {
+		t.Fatal("second run over the same store reused no featurized chunks")
+	}
+	sameCuration(t, "warm store vs in-memory", tcMem, tcWarm)
+
+	// The ablation's featurization is identical, so it reuses the same store.
+	if _, err := warm.noPropCuration(ctx, tcWarm); err != nil {
+		t.Fatal(err)
+	}
+	if got := warm.ReusedChunks(); got <= afterCtx {
+		t.Errorf("no-prop ablation reused no chunks: %d after vs %d before", got, afterCtx)
+	}
+}
+
+// sameCuration asserts two task contexts hold bitwise-identical curations.
+func sameCuration(t *testing.T, label string, a, b *taskContext) {
+	t.Helper()
+	ca, cb := a.curation, b.curation
+	if ca.Report.LFCount != cb.Report.LFCount {
+		t.Errorf("%s: LF count %d vs %d", label, ca.Report.LFCount, cb.Report.LFCount)
+	}
+	if len(ca.ProbLabels) != len(cb.ProbLabels) {
+		t.Fatalf("%s: %d vs %d prob labels", label, len(ca.ProbLabels), len(cb.ProbLabels))
+	}
+	for i := range ca.ProbLabels {
+		if math.Float64bits(ca.ProbLabels[i]) != math.Float64bits(cb.ProbLabels[i]) {
+			t.Fatalf("%s: prob label %d diverged: %v vs %v", label, i, ca.ProbLabels[i], cb.ProbLabels[i])
+		}
+		if ca.Covered[i] != cb.Covered[i] {
+			t.Fatalf("%s: coverage bit %d diverged", label, i)
+		}
+	}
+	if a.baseline != b.baseline {
+		t.Errorf("%s: baseline AUPRC %v vs %v", label, a.baseline, b.baseline)
+	}
+}

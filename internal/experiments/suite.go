@@ -16,6 +16,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -38,6 +39,11 @@ type Config struct {
 	Seed int64
 	// Workers parallelizes featurization and LF application.
 	Workers int
+	// StoreDir, when set, routes curation through the disk-backed streaming
+	// path rooted there (one subdirectory per task). Chunks featurized on a
+	// previous run at the same scale and seed are reused instead of being
+	// recomputed, and the result is bit-identical to the in-memory path.
+	StoreDir string
 }
 
 // DefaultConfig returns the full-scale configuration.
@@ -52,8 +58,9 @@ type Suite struct {
 	world *synth.World
 	lib   *resource.Library
 
-	mu    sync.Mutex
-	tasks map[string]*taskContext
+	mu     sync.Mutex
+	tasks  map[string]*taskContext
+	reused int // store chunks whose featurization was skipped (StoreDir runs)
 }
 
 // taskContext caches the expensive artifacts for one classification task.
@@ -158,7 +165,7 @@ func (s *Suite) ctxFor(ctx context.Context, taskName string) (*taskContext, erro
 	if err != nil {
 		return nil, err
 	}
-	cur, err := pipe.Curate(ctx, ds)
+	cur, err := s.curate(ctx, pipe, ds)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: curate %s: %w", taskName, err)
 	}
@@ -202,12 +209,52 @@ func (s *Suite) noPropCuration(ctx context.Context, tc *taskContext) (*core.Cura
 	if err != nil {
 		return nil, err
 	}
-	cur, err := pipe.Curate(ctx, tc.ds)
+	cur, err := s.curate(ctx, pipe, tc.ds)
 	if err != nil {
 		return nil, err
 	}
 	tc.noProp = cur
 	return cur, nil
+}
+
+// curate runs one curation, in memory by default or through the disk-backed
+// streaming path when Config.StoreDir is set. The streamed path spills
+// featurized chunks under StoreDir/<task> and, on later runs against the
+// same store (including the no-propagation ablation, whose featurization is
+// identical), reuses committed chunks instead of recomputing them; with
+// GraphWindow 0 its output is bit-identical to Pipeline.Curate.
+func (s *Suite) curate(ctx context.Context, pipe *core.Pipeline, ds *synth.Dataset) (*core.Curation, error) {
+	if s.cfg.StoreDir == "" {
+		return pipe.Curate(ctx, ds)
+	}
+	sc, err := pipe.CurateStreamed(ctx, s.world, ds.Task, s.datasetConfig(), core.StreamOptions{
+		Dir:       filepath.Join(s.cfg.StoreDir, ds.Task.Name),
+		ChunkSize: 2048,
+		Resume:    true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cur, merr := sc.Materialize(ctx)
+	s.reused += sc.ReusedChunks
+	if cerr := sc.Close(); merr == nil {
+		merr = cerr
+	}
+	if merr != nil {
+		return nil, merr
+	}
+	// Materialize only carries the corpora the stores hold; the experiments
+	// need the full generated dataset (e.g. UnlabeledImage ground truth).
+	cur.Dataset = ds
+	return cur, nil
+}
+
+// ReusedChunks reports how many featurized store chunks were reused from
+// Config.StoreDir across all curations so far (always 0 without a store).
+func (s *Suite) ReusedChunks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reused
 }
 
 // evaluate returns a predictor's AUPRC on the cached test set.

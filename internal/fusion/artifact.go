@@ -204,89 +204,12 @@ func Save(w io.Writer, p Predictor) error {
 	return binary.Write(w, binary.LittleEndian, crc32.ChecksumIEEE(payload.Bytes()))
 }
 
-// Load reads an artifact written by Save, verifying magic, version, and
-// checksum, and returns the predictor plus its kind.
+// Load reads an artifact written by Save (or SaveLineage — the lineage
+// section, if present, is verified and discarded), verifying magic, version,
+// and checksum, and returns the predictor plus its kind.
 func Load(r io.Reader) (Predictor, string, error) {
-	var magic [8]byte
-	if _, err := io.ReadFull(r, magic[:]); err != nil {
-		return nil, "", fmt.Errorf("fusion: read artifact magic: %w", err)
-	}
-	if magic != artifactMagic {
-		return nil, "", fmt.Errorf("fusion: bad artifact magic %q", magic[:])
-	}
-	var version uint32
-	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
-		return nil, "", fmt.Errorf("fusion: read artifact version: %w", err)
-	}
-	if version != artifactVersion {
-		return nil, "", fmt.Errorf("fusion: artifact version %d, want %d", version, artifactVersion)
-	}
-	var kindLen uint32
-	if err := binary.Read(r, binary.LittleEndian, &kindLen); err != nil {
-		return nil, "", fmt.Errorf("fusion: read artifact kind: %w", err)
-	}
-	if kindLen == 0 || kindLen > maxKindLen {
-		return nil, "", fmt.Errorf("fusion: implausible artifact kind length %d", kindLen)
-	}
-	kindBytes := make([]byte, kindLen)
-	if _, err := io.ReadFull(r, kindBytes); err != nil {
-		return nil, "", fmt.Errorf("fusion: read artifact kind: %w", err)
-	}
-	kind := string(kindBytes)
-	switch kind {
-	case KindEarly, KindIntermediate, KindDeViSE:
-	default:
-		// Reject before touching the payload: a garbage kind means a
-		// garbage payload length too.
-		return nil, "", fmt.Errorf("fusion: unknown artifact kind %q", kind)
-	}
-	var payloadLen uint64
-	if err := binary.Read(r, binary.LittleEndian, &payloadLen); err != nil {
-		return nil, "", fmt.Errorf("fusion: read artifact payload length: %w", err)
-	}
-	if payloadLen == 0 || payloadLen > maxArtifactSection {
-		return nil, "", fmt.Errorf("fusion: implausible artifact payload length %d", payloadLen)
-	}
-	// Copy progressively instead of allocating payloadLen up front: a
-	// truncated stream whose header lies about its length then costs only
-	// the bytes actually present.
-	var payloadBuf bytes.Buffer
-	if n, err := io.CopyN(&payloadBuf, r, int64(payloadLen)); err != nil {
-		return nil, "", fmt.Errorf("fusion: read artifact payload (%d of %d bytes): %w", n, payloadLen, err)
-	}
-	payload := payloadBuf.Bytes()
-	var sum uint32
-	if err := binary.Read(r, binary.LittleEndian, &sum); err != nil {
-		return nil, "", fmt.Errorf("fusion: read artifact checksum: %w", err)
-	}
-	if got := crc32.ChecksumIEEE(payload); got != sum {
-		return nil, "", fmt.Errorf("fusion: artifact checksum mismatch: payload %08x, header %08x", got, sum)
-	}
-	dec := gob.NewDecoder(bytes.NewReader(payload))
-	var p Predictor
-	switch kind {
-	case KindEarly:
-		m := &EarlyModel{}
-		if err := dec.Decode(m); err != nil {
-			return nil, "", err
-		}
-		p = m
-	case KindIntermediate:
-		m := &IntermediateModel{}
-		if err := dec.Decode(m); err != nil {
-			return nil, "", err
-		}
-		p = m
-	case KindDeViSE:
-		m := &DeViSEModel{}
-		if err := dec.Decode(m); err != nil {
-			return nil, "", err
-		}
-		p = m
-	default:
-		return nil, "", fmt.Errorf("fusion: unknown artifact kind %q", kind)
-	}
-	return p, kind, nil
+	p, kind, _, err := LoadLineage(r)
+	return p, kind, err
 }
 
 // SaveFile writes p to path atomically: a temp file in the same directory is

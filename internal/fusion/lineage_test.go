@@ -1,0 +1,129 @@
+package fusion
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func lineageTestModel(t *testing.T) Predictor {
+	t.Helper()
+	img, _ := corpusFor("image", 400, true, 0.15, 31)
+	m, err := TrainEarly(ctxbg, []Corpus{img}, baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// A nil lineage must keep SaveLineage byte-identical to Save: every artifact
+// written before the lineage section existed — and the fuzz corpus — stays
+// valid, and bootstrap saves stay reproducible against golden files.
+func TestSaveLineageNilIsByteIdenticalV1(t *testing.T) {
+	m := lineageTestModel(t)
+	var v1, v2 bytes.Buffer
+	if err := Save(&v1, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveLineage(&v2, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v1.Bytes(), v2.Bytes()) {
+		t.Fatal("SaveLineage(nil) output differs from Save")
+	}
+	// And a v1 stream loads through the lineage reader with nil lineage.
+	p, kind, lg, err := LoadLineage(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil || kind != KindEarly || lg != nil {
+		t.Fatalf("v1 artifact via LoadLineage: kind=%q lineage=%+v", kind, lg)
+	}
+}
+
+func TestLineageRoundTrip(t *testing.T) {
+	m := lineageTestModel(t)
+	want := &Lineage{
+		Task:    "CT1",
+		Trigger: "drift:reports,serve_score",
+		Window:  7,
+		Parent:  "artifacts/model-0001.bin",
+		Seed:    42,
+		Extra:   map[string]string{"schedule": "smoke"},
+	}
+	var buf bytes.Buffer
+	if err := SaveLineage(&buf, m, want); err != nil {
+		t.Fatal(err)
+	}
+	p, kind, got, err := LoadLineage(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindEarly {
+		t.Fatalf("kind = %q", kind)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("lineage round trip:\ngot  %+v\nwant %+v", got, want)
+	}
+	// The model payload survives intact alongside the metadata.
+	test, _ := corpusFor("lineage-test", 100, true, 0.15, 32)
+	for i, v := range test.Vectors {
+		if w, g := m.Predict(v), p.Predict(v); w != g {
+			t.Fatalf("vector %d: Predict %v != %v after lineage round trip", i, w, g)
+		}
+	}
+	// Plain Load accepts v2 streams too (discarding the lineage), so older
+	// call sites keep working against lifecycle-written artifacts.
+	if _, kind, err := Load(bytes.NewReader(buf.Bytes())); err != nil || kind != KindEarly {
+		t.Fatalf("Load on v2 artifact: kind=%q err=%v", kind, err)
+	}
+}
+
+func TestLineageFileRoundTrip(t *testing.T) {
+	m := lineageTestModel(t)
+	path := filepath.Join(t.TempDir(), "model.bin")
+	lg := &Lineage{Task: "CT2", Trigger: "bootstrap"}
+	if err := SaveFileLineage(path, m, lg); err != nil {
+		t.Fatal(err)
+	}
+	_, kind, got, err := LoadFileLineage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindEarly || !reflect.DeepEqual(got, lg) {
+		t.Fatalf("file round trip: kind=%q lineage=%+v", kind, got)
+	}
+}
+
+func TestLineageChecksumRejected(t *testing.T) {
+	m := lineageTestModel(t)
+	var buf bytes.Buffer
+	if err := SaveLineage(&buf, m, &Lineage{Task: "CT1"}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip one bit inside the lineage JSON (it sits between the payload CRC
+	// and the trailing lineage CRC).
+	raw[len(raw)-6] ^= 0x01
+	if _, _, _, err := LoadLineage(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupted lineage section accepted")
+	}
+	// Truncating the lineage section must also fail loudly.
+	if _, _, _, err := LoadLineage(bytes.NewReader(raw[:len(raw)-8])); err == nil {
+		t.Fatal("truncated lineage section accepted")
+	}
+}
+
+func TestLineageUnknownVersionRejected(t *testing.T) {
+	m := lineageTestModel(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[8] = 3 // version field follows the 8-byte magic
+	if _, _, _, err := LoadLineage(bytes.NewReader(raw)); err == nil {
+		t.Fatal("unknown artifact version accepted")
+	}
+}

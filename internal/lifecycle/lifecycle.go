@@ -1,0 +1,603 @@
+// Package lifecycle closes the loop the paper's deployment story assumes
+// around the static pipeline: a controller that watches serving-time feature
+// and score distributions for drift, triggers streamed re-mining and
+// retraining on a fresh window when a detector trips, shadow-scores the
+// candidate against the incumbent on live-replayed traffic, and promotes it
+// through the serving registry's canary-validated hot swap only on metric
+// non-regression. Snorkel DryBell runs on TFX precisely so models are
+// re-mined and refreshed as the organization's data shifts (§2.4);
+// "Changing Modalities" treats that shift as the normal operating
+// condition. This package is the composition layer over internal/monitor
+// (detection + shadow comparison), internal/core (re-mine + retrain),
+// internal/fusion (lineage-stamped artifacts), and internal/serve
+// (canary-gated /admin/reload).
+//
+// Everything is virtual-time deterministic: windows are counted, not
+// clocked; every seed derives from (Config.Seed, window, attempt); events
+// carry no timestamps. The same traffic schedule replays the same event log
+// bit for bit — the property the golden lifecycle test pins.
+package lifecycle
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"crossmodal/internal/core"
+	"crossmodal/internal/featurestore"
+	"crossmodal/internal/fusion"
+	"crossmodal/internal/monitor"
+	"crossmodal/internal/synth"
+)
+
+// Event types, in the order a full episode emits them.
+const (
+	EventReference    = "reference"     // baseline window installed
+	EventDrift        = "drift"         // tracker tripped
+	EventRetrain      = "retrain"       // candidate trained
+	EventRetrainError = "retrain-error" // training attempt failed (chaos, crash)
+	EventShadow       = "shadow"        // candidate vs incumbent comparison done
+	EventPromote      = "promote"       // candidate hot-swapped (Seq bump)
+	EventReject       = "reject"        // candidate regressed in shadow; kept incumbent
+	EventRollback     = "rollback"      // serving canary refused the artifact
+)
+
+// Event is one entry of the controller's decision log. No wall-clock
+// anywhere: Window is the virtual time base.
+type Event struct {
+	Window  int    `json:"window"`
+	Type    string `json:"type"`
+	Channel string `json:"channel,omitempty"` // drifted channels, comma-joined
+	Detail  string `json:"detail,omitempty"`
+	Seq     uint64 `json:"seq,omitempty"` // serving generation after a promote
+}
+
+// Config assembles a Controller.
+type Config struct {
+	// Traffic is the drifting world the server replays; the server's
+	// Config.PointSource must be Traffic-derived so both see the same
+	// points.
+	Traffic *synth.Traffic
+	// Store is the serving featurestore; the controller taps its served
+	// vectors for feature-drift snapshots.
+	Store *featurestore.Store
+	// Pipe re-mines and retrains candidates (StreamMining should be on).
+	Pipe *core.Pipeline
+	// BaseURL is the serving endpoint ("http://127.0.0.1:port").
+	BaseURL string
+	// Client performs HTTP; nil uses http.DefaultClient.
+	Client *http.Client
+
+	// Incumbent is the currently serving model (the bootstrap artifact),
+	// and IncumbentPath its artifact path — the shadow baseline and the
+	// Parent stamped into candidate lineage.
+	Incumbent     fusion.Predictor
+	IncumbentPath string
+
+	// WindowSize is the number of traffic points per observation window
+	// (default 400); BatchSize how many points ride one /predict request
+	// (default 32).
+	WindowSize int
+	BatchSize  int
+
+	// Detect tunes the drift detectors; Shadow the candidate-vs-incumbent
+	// comparison (its Seed is re-derived per window).
+	Detect monitor.DriftConfig
+	Shadow monitor.Config
+
+	// PrecisionMargin and RecallMargin bound the regression a candidate may
+	// show in shadow scoring and still promote (default 0.1 each).
+	PrecisionMargin float64
+	RecallMargin    float64
+
+	// Retrain sizes the fresh dataset each retraining attempt draws; its
+	// Seed field is overridden per (window, attempt).
+	Retrain synth.DatasetConfig
+	// MaxRetrainAttempts bounds back-to-back training attempts per tripped
+	// window before giving up until the next trip (default 3).
+	MaxRetrainAttempts int
+	// CooldownWindows suppresses new retrains for this many windows after
+	// a promotion or rejection, letting the new baseline settle (default 2).
+	CooldownWindows int
+
+	// ArtifactDir receives candidate artifacts.
+	ArtifactDir string
+	// Seed drives every controller decision stream.
+	Seed int64
+
+	// RetrainHook, when set, runs before each training attempt; an error
+	// simulates a crash mid-retrain (the chaos rider's seam). The attempt
+	// is logged as retrain-error and retried.
+	RetrainHook func(window, attempt int) error
+}
+
+func (c Config) withDefaults() Config {
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	if c.WindowSize <= 0 {
+		c.WindowSize = 400
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.PrecisionMargin <= 0 {
+		c.PrecisionMargin = 0.1
+	}
+	if c.RecallMargin <= 0 {
+		c.RecallMargin = 0.1
+	}
+	if c.MaxRetrainAttempts <= 0 {
+		c.MaxRetrainAttempts = 3
+	}
+	if c.CooldownWindows <= 0 {
+		c.CooldownWindows = 2
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Traffic == nil:
+		return fmt.Errorf("lifecycle: nil traffic")
+	case c.Store == nil:
+		return fmt.Errorf("lifecycle: nil featurestore")
+	case c.Pipe == nil:
+		return fmt.Errorf("lifecycle: nil pipeline")
+	case c.BaseURL == "":
+		return fmt.Errorf("lifecycle: empty base URL")
+	case c.Incumbent == nil:
+		return fmt.Errorf("lifecycle: nil incumbent model")
+	case c.ArtifactDir == "":
+		return fmt.Errorf("lifecycle: empty artifact dir")
+	}
+	return nil
+}
+
+// Result summarizes one controller run.
+type Result struct {
+	Events     []Event `json:"events"`
+	Windows    int     `json:"windows"`
+	Detections int     `json:"detections"`
+	Retrains   int     `json:"retrains"`
+	Promotions int     `json:"promotions"`
+	Rejections int     `json:"rejections"`
+	FinalSeq   uint64  `json:"final_seq"`
+}
+
+// Controller drives the closed loop. Not safe for concurrent use.
+type Controller struct {
+	cfg     Config
+	tracker *monitor.Tracker
+
+	incumbent     fusion.Predictor
+	incumbentPath string
+
+	catRef    monitor.CatSnapshot // reference categorical frequencies
+	refCounts []float64           // reference window's serve_scores per-bucket counts
+	prevCum   []float64           // cumulative bucket counts at the last window edge
+
+	cooldown int
+	needRef  bool // rebaseline on the next window (startup, post-promotion)
+
+	res Result
+}
+
+// New builds a controller.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	return &Controller{
+		cfg:           cfg,
+		tracker:       monitor.NewTracker(cfg.Detect),
+		incumbent:     cfg.Incumbent,
+		incumbentPath: cfg.IncumbentPath,
+		needRef:       true,
+	}, nil
+}
+
+// Run replays the full traffic schedule window by window and returns the
+// event log. The featurestore's sampling tap is enabled for the duration.
+func (c *Controller) Run(ctx context.Context) (*Result, error) {
+	windows := c.cfg.Traffic.Total() / c.cfg.WindowSize
+	if windows == 0 {
+		return nil, fmt.Errorf("lifecycle: traffic (%d points) smaller than one window (%d)",
+			c.cfg.Traffic.Total(), c.cfg.WindowSize)
+	}
+	c.cfg.Store.EnableSampling(c.cfg.WindowSize)
+	defer c.cfg.Store.EnableSampling(0)
+
+	// Prime the cumulative score-histogram baseline so window 0's diff is
+	// against the pre-run state (the bootstrap canary scores land there).
+	cum, err := c.fetchScoreCum(ctx)
+	if err != nil {
+		return nil, err
+	}
+	c.prevCum = cum
+
+	for w := 0; w < windows; w++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := c.step(ctx, w); err != nil {
+			return nil, fmt.Errorf("lifecycle: window %d: %w", w, err)
+		}
+	}
+	c.res.Windows = windows
+	out := c.res
+	return &out, nil
+}
+
+// step observes one traffic window and reacts.
+func (c *Controller) step(ctx context.Context, w int) error {
+	c.cfg.Store.DrainSample() // discard anything recorded between windows
+
+	pts := c.cfg.Traffic.Window(w*c.cfg.WindowSize, c.cfg.WindowSize)
+	scores, err := c.scoreWindow(ctx, pts)
+	if err != nil {
+		return err
+	}
+
+	vecs := c.cfg.Store.DrainSample()
+	snap := monitor.NumericSnapshot(vecs)
+	snap["serve_score"] = scores
+	cat := monitor.CategoricalSnapshot(vecs)
+
+	cum, err := c.fetchScoreCum(ctx)
+	if err != nil {
+		return err
+	}
+	counts := diffCounts(c.prevCum, cum)
+	c.prevCum = cum
+
+	if c.needRef {
+		c.tracker.SetReference(snap)
+		c.catRef = cat
+		c.refCounts = counts
+		c.needRef = false
+		c.emit(Event{Window: w, Type: EventReference,
+			Detail: fmt.Sprintf("%d channels, %d points", len(snap)+len(cat), len(pts))})
+		return nil
+	}
+
+	// The categorical channels (topic mix, URL groups, rule firings) and the
+	// /metrics score histogram have no raw-sample form, so they ride along as
+	// extra verdicts and share the tracker's streak logic.
+	extra := monitor.DetectCategoricalDrift(c.cfg.Detect, c.catRef, cat)
+	thr := c.cfg.Detect.PSIThreshold
+	if thr <= 0 {
+		thr = 0.25 // monitor.DriftConfig's own default
+	}
+	psi := monitor.PSI(c.refCounts, counts)
+	extra = append(extra, monitor.Verdict{Channel: "scores_hist", N: len(scores), KSP: 1, PSI: psi, Drifted: psi > thr})
+	verdicts, tripped := c.tracker.Observe(snap, extra...)
+
+	if c.cooldown > 0 {
+		c.cooldown--
+		return nil
+	}
+	if !tripped {
+		return nil
+	}
+
+	channels := strings.Join(c.tracker.TrippedChannels(), ",")
+	c.res.Detections++
+	c.emit(Event{Window: w, Type: EventDrift, Channel: channels,
+		Detail: monitor.Summarize(verdicts)})
+	return c.retrainAndMaybePromote(ctx, w, pts, channels)
+}
+
+// retrainAndMaybePromote runs the re-mine → retrain → shadow → promote arm
+// of the loop, retrying training up to MaxRetrainAttempts.
+func (c *Controller) retrainAndMaybePromote(ctx context.Context, w int, pts []*synth.Point, channels string) error {
+	for attempt := 1; attempt <= c.cfg.MaxRetrainAttempts; attempt++ {
+		if hook := c.cfg.RetrainHook; hook != nil {
+			if err := hook(w, attempt); err != nil {
+				c.emit(Event{Window: w, Type: EventRetrainError,
+					Detail: fmt.Sprintf("attempt %d: %v", attempt, err)})
+				continue
+			}
+		}
+		cand, lfCount, err := c.retrain(ctx, w, attempt)
+		if err != nil {
+			if ctx.Err() != nil {
+				return err
+			}
+			c.emit(Event{Window: w, Type: EventRetrainError,
+				Detail: fmt.Sprintf("attempt %d: %v", attempt, err)})
+			continue
+		}
+		c.res.Retrains++
+		c.emit(Event{Window: w, Type: EventRetrain,
+			Detail: fmt.Sprintf("attempt %d, %d LFs", attempt, lfCount)})
+		return c.shadowAndPromote(ctx, w, pts, channels, cand)
+	}
+	// Out of attempts: give up until the next trip. The streak persists,
+	// so a sustained shift re-trips on the next window.
+	return nil
+}
+
+// retrain draws a fresh dataset from the current traffic regime and runs
+// curation + training. The dataset seed differs per (window, attempt) so a
+// retry is a genuinely fresh draw.
+func (c *Controller) retrain(ctx context.Context, w, attempt int) (fusion.Predictor, int, error) {
+	epoch := c.cfg.Traffic.EpochOf((w+1)*c.cfg.WindowSize - 1)
+	dsCfg := c.cfg.Retrain
+	dsCfg.Seed = c.cfg.Seed ^ int64(w)<<8 ^ int64(attempt)
+	ds, err := c.cfg.Traffic.FreshDataset(epoch, dsCfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	cur, err := c.cfg.Pipe.Curate(ctx, ds)
+	if err != nil {
+		return nil, 0, err
+	}
+	cand, err := c.cfg.Pipe.Train(ctx, cur, c.cfg.Pipe.DefaultTrainSpec())
+	if err != nil {
+		return nil, 0, err
+	}
+	return cand, cur.Report.LFCount, nil
+}
+
+// shadowAndPromote compares the candidate against the incumbent on the
+// tripped window's live traffic and promotes through /admin/reload on
+// non-regression.
+func (c *Controller) shadowAndPromote(ctx context.Context, w int, pts []*synth.Point, channels string, cand fusion.Predictor) error {
+	vecs, err := c.cfg.Pipe.Featurize(ctx, pts)
+	if err != nil {
+		return err
+	}
+	shadowCfg := c.cfg.Shadow
+	shadowCfg.Seed = c.cfg.Seed ^ int64(w)<<16
+	if shadowCfg.Threshold <= 0 {
+		// A fixed 0.5 cut can sit above everything a low-base-rate model
+		// emits, making every estimate vacuously zero. Anchor the flag
+		// threshold to the incumbent's own score distribution on this
+		// window instead: flag its top decile.
+		shadowCfg.Threshold = scoreQuantile(c.incumbent.PredictBatch(vecs), 0.9)
+	}
+	cmp, err := monitor.Compare("incumbent", c.incumbent, "candidate", cand,
+		pts, vecs, func(p *synth.Point) int8 { return p.Label }, shadowCfg)
+	if err != nil {
+		return err
+	}
+	inc, cnd := cmp.A, cmp.B
+	c.emit(Event{Window: w, Type: EventShadow,
+		Detail: fmt.Sprintf("incumbent p=%.3f r=%.3f, candidate p=%.3f r=%.3f, disagree=%.3f",
+			inc.Precision, inc.RecallProxy, cnd.Precision, cnd.RecallProxy, cmp.Disagreement)})
+
+	pass := cnd.Precision >= inc.Precision-c.cfg.PrecisionMargin &&
+		cnd.RecallProxy >= inc.RecallProxy-c.cfg.RecallMargin
+	if !pass {
+		c.res.Rejections++
+		c.cooldown = c.cfg.CooldownWindows
+		c.emit(Event{Window: w, Type: EventReject,
+			Detail: fmt.Sprintf("candidate regressed beyond margins (p %.3f vs %.3f, r %.3f vs %.3f)",
+				cnd.Precision, inc.Precision, cnd.RecallProxy, inc.RecallProxy)})
+		return nil
+	}
+
+	path := filepath.Join(c.cfg.ArtifactDir, fmt.Sprintf("candidate-w%03d.xma", w))
+	lg := &fusion.Lineage{
+		Task:    c.cfg.Traffic.Task().Name,
+		Trigger: "drift:" + channels,
+		Window:  w,
+		Parent:  c.incumbentPath,
+		Seed:    c.cfg.Seed ^ int64(w)<<8,
+	}
+	if err := fusion.SaveFileLineage(path, cand, lg); err != nil {
+		return err
+	}
+	seq, reloadErr := c.reload(ctx, path)
+	if reloadErr != nil {
+		// The serving canary refused the artifact: the incumbent keeps
+		// serving untouched. Cool down rather than hammering the gate.
+		c.res.Rejections++
+		c.cooldown = c.cfg.CooldownWindows
+		c.emit(Event{Window: w, Type: EventRollback,
+			Detail: fmt.Sprintf("serving canary refused artifact: %v", reloadErr)})
+		return nil
+	}
+	c.res.Promotions++
+	c.res.FinalSeq = seq
+	c.incumbent = cand
+	c.incumbentPath = path
+	c.cooldown = c.cfg.CooldownWindows
+	// The world under the model changed and so did the model: rebaseline
+	// detection on the next window.
+	c.needRef = true
+	c.emit(Event{Window: w, Type: EventPromote, Channel: channels, Seq: seq,
+		Detail: filepath.Base(path)})
+	return nil
+}
+
+// scoreWindow posts the window's points through /predict in BatchSize
+// chunks and returns their scores in traffic order.
+func (c *Controller) scoreWindow(ctx context.Context, pts []*synth.Point) ([]float64, error) {
+	scores := make([]float64, 0, len(pts))
+	for lo := 0; lo < len(pts); lo += c.cfg.BatchSize {
+		hi := lo + c.cfg.BatchSize
+		if hi > len(pts) {
+			hi = len(pts)
+		}
+		batch := struct {
+			Points []map[string]any `json:"points"`
+		}{}
+		for _, p := range pts[lo:hi] {
+			batch.Points = append(batch.Points, map[string]any{"id": p.ID, "modality": string(p.Modality)})
+		}
+		body, err := json.Marshal(batch)
+		if err != nil {
+			return nil, err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+"/predict", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.cfg.Client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("predict: %d %s", resp.StatusCode, bytes.TrimSpace(raw))
+		}
+		var pr struct {
+			Scores []float64 `json:"scores"`
+		}
+		if err := json.Unmarshal(raw, &pr); err != nil {
+			return nil, err
+		}
+		if len(pr.Scores) != hi-lo {
+			return nil, fmt.Errorf("predict returned %d scores for %d points", len(pr.Scores), hi-lo)
+		}
+		scores = append(scores, pr.Scores...)
+	}
+	return scores, nil
+}
+
+// reload POSTs /admin/reload and returns the new serving generation.
+func (c *Controller) reload(ctx context.Context, path string) (uint64, error) {
+	body, err := json.Marshal(map[string]string{"path": path})
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+"/admin/reload", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("%d %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	var rr struct {
+		Seq uint64 `json:"seq"`
+	}
+	if err := json.Unmarshal(raw, &rr); err != nil {
+		return 0, err
+	}
+	return rr.Seq, nil
+}
+
+// fetchScoreCum scrapes the cumulative serve_scores bucket counts from
+// /metrics, in bucket order (including +Inf).
+func (c *Controller) fetchScoreCum(ctx context.Context) ([]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	return ParseScoreBuckets(string(raw))
+}
+
+// ParseScoreBuckets extracts the cumulative serve_scores histogram buckets
+// from a /metrics exposition, in exposition order.
+func ParseScoreBuckets(metrics string) ([]float64, error) {
+	var cum []float64
+	for _, line := range strings.Split(metrics, "\n") {
+		if !strings.HasPrefix(line, "serve_scores_bucket{le=") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("lifecycle: malformed bucket line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("lifecycle: malformed bucket count %q: %w", line, err)
+		}
+		cum = append(cum, v)
+	}
+	if len(cum) == 0 {
+		return nil, fmt.Errorf("lifecycle: /metrics exposes no serve_scores buckets")
+	}
+	return cum, nil
+}
+
+// diffCounts converts two cumulative bucket snapshots into this window's
+// per-bucket counts. Mismatched lengths (a restarted server) yield the
+// current snapshot de-cumulated from zero.
+func diffCounts(prevCum, cum []float64) []float64 {
+	counts := make([]float64, len(cum))
+	var prevTotal float64
+	for i, v := range cum {
+		base := 0.0
+		if i < len(prevCum) && len(prevCum) == len(cum) {
+			base = prevCum[i]
+		}
+		counts[i] = (v - base) - prevTotal
+		prevTotal += counts[i]
+		if counts[i] < 0 {
+			counts[i] = 0
+		}
+	}
+	return counts
+}
+
+// scoreQuantile returns the q-quantile of scores (sorted copy, nearest
+// rank), clamped into (0, 1) so it is always a usable flag threshold.
+func scoreQuantile(scores []float64, q float64) float64 {
+	if len(scores) == 0 {
+		return 0.5
+	}
+	s := append([]float64(nil), scores...)
+	sort.Float64s(s)
+	v := s[int(q*float64(len(s)-1))]
+	return math.Min(math.Max(v, 0.01), 0.99)
+}
+
+// emit appends one event to the log.
+func (c *Controller) emit(e Event) {
+	c.res.Events = append(c.res.Events, e)
+}
+
+// ChannelsOf lists the distinct channels named by a run's drift events,
+// sorted — a convenience for smoke-test assertions.
+func ChannelsOf(events []Event) []string {
+	set := map[string]bool{}
+	for _, e := range events {
+		if e.Type == EventDrift && e.Channel != "" {
+			for _, ch := range strings.Split(e.Channel, ",") {
+				set[ch] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for ch := range set {
+		out = append(out, ch)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -40,6 +40,9 @@ type Loaded struct {
 	// scoreInto is the quantized batch scorer, nil when Precision is
 	// Float64 (execBatch then takes the reference PredictBatch path).
 	scoreInto func(vs []*feature.Vector, out []float64)
+	// Lineage is the artifact's provenance stamp, nil for artifacts
+	// written without one (and for in-process installs).
+	Lineage *fusion.Lineage
 }
 
 // Registry holds the current model and performs validated hot-swaps.
@@ -109,6 +112,10 @@ func (r *Registry) validate(m fusion.Predictor) error {
 // Install validates m on the canary batch and atomically makes it the
 // serving model. path is recorded for observability only.
 func (r *Registry) Install(m fusion.Predictor, path string) (*Loaded, error) {
+	return r.install(m, path, nil)
+}
+
+func (r *Registry) install(m fusion.Predictor, path string, lg *fusion.Lineage) (*Loaded, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err := r.validate(m); err != nil {
@@ -124,6 +131,7 @@ func (r *Registry) Install(m fusion.Predictor, path string) (*Loaded, error) {
 		Path:     path,
 		Seq:      r.seq.Add(1),
 		LoadedAt: time.Now(),
+		Lineage:  lg,
 	}
 	if qp, ok := m.(quantPredictor); ok && qp.ServePrecision() != model.Float64 {
 		l.Precision = qp.ServePrecision()
@@ -134,12 +142,12 @@ func (r *Registry) Install(m fusion.Predictor, path string) (*Loaded, error) {
 }
 
 // LoadArtifact reads a model artifact from disk, validates it on the canary
-// batch, and hot-swaps it in. On any failure the previous model keeps
-// serving untouched.
+// batch, and hot-swaps it in, carrying any lineage stamp along. On any
+// failure the previous model keeps serving untouched.
 func (r *Registry) LoadArtifact(path string) (*Loaded, error) {
-	m, _, err := fusion.LoadFile(path)
+	m, _, lg, err := fusion.LoadFileLineage(path)
 	if err != nil {
 		return nil, err
 	}
-	return r.Install(m, path)
+	return r.install(m, path, lg)
 }

@@ -53,6 +53,12 @@ type Config struct {
 	// Workers is the per-batch parallelism handed to featurization and
 	// PredictBatch (0 = GOMAXPROCS).
 	Workers int
+	// PointSource, when set, overrides the default static-world derivation
+	// of request points: the lifecycle simulator plugs in time-varying
+	// traffic (synth.Traffic.Point) here so the same server stack serves a
+	// drifting world. It must be deterministic in its arguments — points
+	// are memoized by ID through the point cache and featurestore.
+	PointSource func(id int, m synth.Modality, frames int) *synth.Point
 	// Timeout is the per-request scoring budget; a request that cannot be
 	// scored inside it is shed (default 500ms).
 	Timeout time.Duration
@@ -156,7 +162,12 @@ func (s *Server) BuildPoint(id int, m synth.Modality, frames int) *synth.Point {
 	if p := slot.Load(); p != nil && p.ID == id && p.Modality == m && p.Frames == frames {
 		return p
 	}
-	p := DerivePoint(s.cfg.World, s.cfg.Seed, id, m, frames)
+	var p *synth.Point
+	if s.cfg.PointSource != nil {
+		p = s.cfg.PointSource(id, m, frames)
+	} else {
+		p = DerivePoint(s.cfg.World, s.cfg.Seed, id, m, frames)
+	}
 	slot.Store(p)
 	return p
 }
@@ -179,6 +190,9 @@ func (s *Server) execBatch(ctx context.Context, pts []*synth.Point, scores []flo
 		cur.scoreInto(vecs, scores)
 	} else {
 		copy(scores, cur.Model.PredictBatch(vecs))
+	}
+	for _, sc := range scores[:len(pts)] {
+		s.met.Scores.Observe(sc)
 	}
 	return cur.Seq, nil
 }
@@ -353,12 +367,17 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"seq":       l.Seq,
 		"kind":      l.Kind,
 		"path":      l.Path,
 		"precision": l.Precision.String(),
-	})
+	}
+	if l.Lineage != nil {
+		resp["trigger"] = l.Lineage.Trigger
+		resp["parent"] = l.Lineage.Parent
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
